@@ -1,0 +1,159 @@
+"""Extra experiment E7: byzantine robots (paper §VIII future work).
+
+The paper's third open direction asks whether dispersion on dynamic graphs
+can tolerate *byzantine* faults.  This benchmark makes the question
+concrete by attacking Algorithm 4 with the implemented forgery policies
+and measuring the damage per attack:
+
+* ``HideMultiplicity`` -- a single byzantine robot seated as the rooted
+  multiplicity node's representative under-reports its count: every honest
+  robot believes dispersion is complete and the system livelocks with
+  **zero moves, forever**;
+* ``FakeMultiplicity`` (high phantoms) -- phantom co-located IDs above k:
+  sliding slots are wasted on ghosts and the algorithm can never detect
+  termination (the forged multiplicity never resolves), though honest
+  robots may still physically disperse;
+* ``ScrambleNeighbors`` -- permuted neighbor ports misroute sliding hops
+  through the liar's node.
+
+The measured headline -- one liar suffices for total livelock -- is
+exactly why byzantine tolerance is future work: Algorithm 4's termination
+and routing both *trust every packet*.
+"""
+
+from repro.core.dispersion import DispersionDynamic
+from repro.graph.dynamic import RandomChurnDynamicGraph
+from repro.robots.byzantine import (
+    FakeMultiplicity,
+    HideMultiplicity,
+    ScrambleNeighbors,
+)
+from repro.robots.robot import RobotSet
+from repro.sim.engine import SimulationEngine
+
+N, K = 24, 16
+BUDGET = 300
+SEEDS = (0, 1, 2)
+
+
+def run_attack(policy_factory, seed):
+    policies = {1: policy_factory()} if policy_factory else None
+    return SimulationEngine(
+        RandomChurnDynamicGraph(N, extra_edges=N // 2, seed=seed),
+        RobotSet.rooted(K, N),
+        DispersionDynamic(),
+        byzantine_policies=policies,
+        max_rounds=BUDGET,
+    ).run()
+
+
+def test_byzantine_attack_grid(benchmark, report):
+    attacks = [
+        ("none (honest baseline)", None),
+        ("hide multiplicity", HideMultiplicity),
+        ("fake multiplicity", lambda: FakeMultiplicity(phantoms=3)),
+        ("scramble neighbors", ScrambleNeighbors),
+    ]
+    rows = []
+    outcomes = {}
+    for label, factory in attacks:
+        dispersed = 0
+        rounds = []
+        moves = []
+        detected = 0
+        for seed in SEEDS:
+            result = run_attack(factory, seed)
+            if result.dispersed:
+                dispersed += 1
+                rounds.append(result.rounds)
+            moves.append(result.total_moves)
+            if result.algorithm_detected_termination:
+                detected += 1
+        outcomes[label] = (dispersed, rounds, moves, detected)
+        rows.append(
+            (
+                label,
+                f"{dispersed}/{len(SEEDS)}",
+                (sum(rounds) / len(rounds)) if rounds else float("nan"),
+                sum(moves) / len(moves),
+                f"{detected}/{len(SEEDS)}",
+            )
+        )
+    report.table(
+        ("attack (1 byzantine robot)", "honest dispersed", "mean rounds",
+         "mean moves", "robots detected termination"),
+        rows,
+        title=f"E7 -- byzantine attacks on Algorithm 4 (k={K}, n={N}, "
+        f"{BUDGET}-round budget)",
+    )
+
+    honest = outcomes["none (honest baseline)"]
+    hide = outcomes["hide multiplicity"]
+    fake = outcomes["fake multiplicity"]
+    assert honest[0] == len(SEEDS) and honest[3] == len(SEEDS)
+    # the hide attack: total livelock, zero moves, every seed
+    assert hide[0] == 0
+    assert all(m == 0 for m in hide[2])
+    # the fake attack: termination detection is permanently suppressed
+    assert fake[3] == 0
+    report.line()
+    report.line(
+        "hide-multiplicity livelocks every run with zero moves; "
+        "fake-multiplicity suppresses termination detection in every run: "
+        "Algorithm 4 trusts packets, which is why byzantine tolerance is "
+        "the paper's open problem."
+    )
+
+    benchmark(lambda: run_attack(HideMultiplicity, 0))
+
+
+def test_crash_recovery_vs_byzantine_persistence(benchmark, report):
+    """Contrast with Section VII: a *crashed* liar stops lying.
+
+    If the byzantine robot crashes mid-run, the honest robots recover and
+    disperse -- confirming that the damage is entirely in the forged
+    packets, not in any corrupted robot state.
+    """
+    from repro.robots.faults import CrashEvent, CrashPhase, CrashSchedule
+
+    rows = []
+    for crash_round in (2, 5, 10):
+        schedule = CrashSchedule(
+            [CrashEvent(1, crash_round, CrashPhase.BEFORE_COMMUNICATE)]
+        )
+        result = SimulationEngine(
+            RandomChurnDynamicGraph(N, extra_edges=N // 2, seed=1),
+            RobotSet.rooted(K, N),
+            DispersionDynamic(),
+            byzantine_policies={1: HideMultiplicity()},
+            crash_schedule=schedule,
+            max_rounds=BUDGET,
+        ).run()
+        rows.append(
+            (crash_round, result.dispersed, result.rounds,
+             crash_round + (K - 1))
+        )
+        assert result.dispersed
+        # recovery takes at most k - 1 rounds after the liar dies
+        assert result.rounds <= crash_round + K - 1
+    report.table(
+        ("liar crashes at round", "honest dispersed", "total rounds",
+         "bound: crash + k - 1"),
+        rows,
+        title="E7b -- a crashed liar stops lying: honest robots recover "
+        "within k - 1 rounds of the crash",
+    )
+
+    benchmark(
+        lambda: SimulationEngine(
+            RandomChurnDynamicGraph(N, extra_edges=N // 2, seed=1),
+            RobotSet.rooted(K, N),
+            DispersionDynamic(),
+            byzantine_policies={1: HideMultiplicity()},
+            crash_schedule=CrashSchedule(
+                [CrashEvent(1, 2, CrashPhase.BEFORE_COMMUNICATE)]
+            ),
+            max_rounds=BUDGET,
+            collect_records=False,
+        ).run()
+    )

@@ -1,0 +1,124 @@
+"""Extra experiment E6: dynamic rings -- the related-work setting.
+
+The only prior dispersion-on-dynamic-graphs result (Agarwalla et al.,
+ICDCN 2018) concerns dynamic rings: a fixed cycle footprint that loses at
+most one edge per round.  This benchmark puts the general algorithm and a
+ring-specialized local walker side by side on that setting:
+
+* on randomly-faulting rings both disperse, the walker exploiting the
+  ring's stable orientation;
+* against the *blocking* adversary (which always removes the edge the
+  leading walker wants to cross) the local walker is stalled indefinitely,
+  while the paper's global + 1-NK algorithm still finishes within its
+  k - 1 bound -- one edge removal per round cannot stop sliding, because
+  the disjoint-path construction is recomputed against each round's actual
+  graph.
+
+This is the cleanest illustration of what the paper's stronger model buys
+over the ring-specific prior work.
+"""
+
+from repro.baselines.ring_walk import RingWalkDispersion
+from repro.core.dispersion import DispersionDynamic
+from repro.graph.rings import RingDynamicGraph
+from repro.robots.robot import RobotSet
+from repro.sim.engine import SimulationEngine
+from repro.sim.observation import CommunicationModel
+
+N, K = 16, 11
+STALL_ROUNDS = 400
+
+
+def run_walker(ring, max_rounds=3000):
+    return SimulationEngine(
+        ring,
+        RobotSet.rooted(K, N),
+        ring._algorithm if ring.mode == "blocking" else RingWalkDispersion(),
+        communication=CommunicationModel.LOCAL,
+        max_rounds=max_rounds,
+    ).run()
+
+
+def test_dynamic_ring_contrast(benchmark, report):
+    rows = []
+    for seed in range(3):
+        # randomly faulting ring: both succeed
+        walker_random = SimulationEngine(
+            RingDynamicGraph(
+                N, mode="random", removal_probability=0.9, seed=seed
+            ),
+            RobotSet.rooted(K, N),
+            RingWalkDispersion(),
+            communication=CommunicationModel.LOCAL,
+            max_rounds=3000,
+        ).run()
+        paper_random = SimulationEngine(
+            RingDynamicGraph(
+                N, mode="random", removal_probability=0.9, seed=seed
+            ),
+            RobotSet.rooted(K, N),
+            DispersionDynamic(),
+        ).run()
+
+        # blocking adversary: walker stalls, paper algorithm does not
+        blocked_algorithm = RingWalkDispersion()
+        walker_blocked = SimulationEngine(
+            RingDynamicGraph(
+                N, mode="blocking", seed=seed, algorithm=blocked_algorithm
+            ),
+            RobotSet.rooted(K, N),
+            blocked_algorithm,
+            communication=CommunicationModel.LOCAL,
+            max_rounds=STALL_ROUNDS,
+        ).run()
+        paper_algorithm = DispersionDynamic()
+        paper_blocked = SimulationEngine(
+            RingDynamicGraph(
+                N,
+                mode="blocking",
+                seed=seed,
+                algorithm=paper_algorithm,
+                communication=CommunicationModel.GLOBAL,
+            ),
+            RobotSet.rooted(K, N),
+            paper_algorithm,
+        ).run()
+
+        rows.append(
+            (
+                seed,
+                walker_random.rounds,
+                paper_random.rounds,
+                "stalled" if not walker_blocked.dispersed else str(
+                    walker_blocked.rounds
+                ),
+                paper_blocked.rounds,
+            )
+        )
+        assert walker_random.dispersed and paper_random.dispersed
+        assert not walker_blocked.dispersed
+        assert paper_blocked.dispersed
+        assert paper_blocked.rounds <= K - 1
+    report.table(
+        (
+            "seed",
+            "walker rounds (random ring)",
+            "paper rounds (random ring)",
+            f"walker vs blocker ({STALL_ROUNDS} budget)",
+            "paper vs blocker",
+        ),
+        rows,
+        title=f"E6 -- dynamic rings, k={K}, n={N}: the blocking adversary "
+        "stalls the local ring walker; the paper's algorithm is unaffected",
+    )
+
+    benchmark(
+        lambda: SimulationEngine(
+            RingDynamicGraph(
+                N, mode="random", removal_probability=0.9, seed=1
+            ),
+            RobotSet.rooted(K, N),
+            DispersionDynamic(),
+            collect_records=False,
+        ).run()
+    )

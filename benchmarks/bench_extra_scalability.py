@@ -1,0 +1,88 @@
+"""Extra experiment E8: simulator scalability and communication volume.
+
+Two systems-style measurements of the reproduction substrate itself:
+
+* wall-clock scaling -- full runs at k up to 512 robots on 1024-node
+  churning graphs (pytest-benchmark times the largest configuration; the
+  table reports rounds and per-round work for each size);
+* communication volume -- the global model's hidden price: every occupied
+  node broadcasts once per round and every robot receives every broadcast,
+  so deliveries grow as Theta(alpha * k) per round.  Measured against the
+  local model's Theta(k).
+
+These numbers bound what a user can expect to simulate on a laptop, which
+is part of what "adoptable reproduction" means.
+"""
+
+import time
+
+from repro.analysis.experiments import churn_dynamics, run_dispersion
+from repro.robots.robot import RobotSet
+
+
+def timed_run(k, n, seed):
+    start = time.perf_counter()
+    result = run_dispersion(
+        churn_dynamics()(n, seed),
+        RobotSet.rooted(k, n),
+        collect_records=False,
+    )
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def test_wall_clock_scaling(benchmark, report):
+    rows = []
+    for k in (32, 128, 512):
+        n = 2 * k
+        result, elapsed = timed_run(k, n, seed=k)
+        assert result.dispersed
+        assert result.rounds <= k - 1
+        rows.append(
+            (
+                k,
+                n,
+                result.rounds,
+                elapsed,
+                1000.0 * elapsed / max(1, result.rounds),
+            )
+        )
+    report.table(
+        ("k", "n", "rounds", "total seconds", "ms per round"),
+        rows,
+        title="E8a -- simulator wall-clock scaling (rooted, random churn; "
+        "single process, pure Python)",
+    )
+
+    benchmark(lambda: timed_run(256, 512, seed=7)[0])
+
+
+def test_communication_volume(benchmark, report):
+    rows = []
+    for k in (16, 64, 256):
+        n = 2 * k
+        result, _ = timed_run(k, n, seed=k + 1)
+        assert result.dispersed
+        per_round_deliveries = result.total_packet_deliveries / max(
+            1, result.rounds + 1
+        )
+        rows.append(
+            (
+                k,
+                result.rounds,
+                result.total_packets_broadcast,
+                result.total_packet_deliveries,
+                per_round_deliveries,
+            )
+        )
+    report.table(
+        ("k", "rounds", "packets broadcast", "packet deliveries",
+         "deliveries / round"),
+        rows,
+        title="E8b -- global-communication volume: every robot hears every "
+        "occupied node, Theta(alpha * k) deliveries per round",
+    )
+    # deliveries/round grow superlinearly in k (alpha grows with k too)
+    assert rows[-1][4] > 8 * rows[0][4]
+
+    benchmark(lambda: timed_run(64, 128, seed=3)[0])

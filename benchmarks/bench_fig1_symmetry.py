@@ -1,0 +1,83 @@
+"""Figure 1 (Theorem 1's construction): the symmetric-view path instance.
+
+Regenerates the figure as an executable artifact: the exact k = 6 instance
+(a 5-node occupied path with a doubled endpoint and an empty blob), the
+mechanical check that the two mid-path robots' ID-oblivious views are
+identical under the adversary's mirrored port labelling, and the
+consequence -- any ID-oblivious deterministic rule moves them through the
+same port number, i.e. in opposite directions along the path, so the
+single-round dispersion sweep is impossible.
+"""
+
+from repro.adversary.local_impossibility import (
+    build_fig1_instance,
+    id_oblivious_view,
+    interior_views_are_symmetric,
+)
+from repro.sim.observation import build_info_packets
+
+
+def test_fig1_symmetric_views(benchmark, report):
+    rows = []
+    for k in (6, 7, 8, 10, 12, 16):
+        instance = build_fig1_instance(k)
+        symmetric = interior_views_are_symmetric(instance)
+        rows.append((k, len(instance.path_nodes), symmetric))
+        assert symmetric
+    report.table(
+        ("k", "occupied path length", "mid-path views identical"),
+        rows,
+        title="Figure 1 -- the two mid-path robots are indistinguishable "
+        "to any ID-oblivious deterministic rule",
+    )
+
+    # Spell the k = 6 figure out, port by port.
+    instance = build_fig1_instance(6)
+    packets = build_info_packets(instance.snapshot, instance.positions)
+    path = instance.path_nodes
+    mid = (len(path) - 1) // 2
+    w_node, x_node = path[mid], path[mid + 1]
+    report.line()
+    report.line(f"k=6 instance: occupied path nodes {list(path)}, "
+                f"blob {list(instance.blob_nodes)}")
+    report.line(f"w = node {w_node}: view {id_oblivious_view(packets[w_node])}")
+    report.line(f"x = node {x_node}: view {id_oblivious_view(packets[x_node])}")
+    snap = instance.snapshot
+    report.line(
+        f"mirrored labelling: port 1 at w -> towards v "
+        f"(node {snap.neighbor_via(w_node, 1)}), port 1 at x -> towards y "
+        f"(node {snap.neighbor_via(x_node, 1)})"
+    )
+    report.line(
+        "same view + same deterministic rule => same chosen port => "
+        "opposite directions => the sweep towards y never synchronizes."
+    )
+
+    benchmark(
+        lambda: interior_views_are_symmetric(build_fig1_instance(12))
+    )
+
+
+def test_fig1_frontier_uniqueness(benchmark, report):
+    """The structural half of the argument: only the far endpoint y borders
+    empty territory, so breaking the sweep anywhere blocks all progress."""
+    rows = []
+    for k in (6, 10, 14):
+        instance = build_fig1_instance(k)
+        snap = instance.snapshot
+        occupied = set(instance.positions.values())
+        frontier = {
+            node
+            for node in occupied
+            if any(nb not in occupied for nb in snap.neighbors(node))
+        }
+        rows.append((k, sorted(frontier), instance.frontier_node))
+        assert frontier == {instance.frontier_node}
+    report.table(
+        ("k", "occupied nodes with an empty neighbor", "y"),
+        rows,
+        title="Figure 1b -- exactly one occupied node borders the empty "
+        "region",
+    )
+
+    benchmark(lambda: build_fig1_instance(16))

@@ -1,0 +1,67 @@
+"""Figure 2 (Theorem 3): the star-star dynamic tree lower bound.
+
+Regenerates the figure's construction and the theorem's measured content:
+
+* the per-round topology is two stars joined at their centers -- diameter
+  at most 3 in every round (the paper stresses the bound holds even at
+  constant dynamic diameter);
+* at most one new node can be occupied per round, so any algorithm needs
+  >= k - 1 rounds from a rooted start;
+* the paper's algorithm needs exactly k - 1: upper and lower bounds meet,
+  i.e. Theta(k) is tight.
+"""
+
+from repro.adversary.star_lower_bound import StarStarAdversary
+from repro.analysis.experiments import run_dispersion
+from repro.robots.robot import RobotSet
+
+K_VALUES = [4, 8, 16, 32, 64, 128, 256]
+
+
+def test_lower_bound_tightness(benchmark, report):
+    rows = []
+    for k in K_VALUES:
+        n = k + 8
+        adversary = StarStarAdversary(n, [0], seed=k)
+        result = run_dispersion(
+            adversary, RobotSet.rooted(k, n), max_rounds=2 * k
+        )
+        max_gain = max(
+            (len(r.newly_occupied) for r in result.records), default=0
+        )
+        rows.append((k, result.rounds, k - 1, max_gain))
+        assert result.dispersed
+        assert result.rounds == k - 1
+        assert max_gain == 1
+    report.table(
+        ("k", "measured rounds", "lower bound k-1", "max new nodes/round"),
+        rows,
+        title="Figure 2 / Theorem 3 -- the star-star adversary: measured "
+        "rounds meet the Omega(k) bound exactly",
+    )
+
+    benchmark(
+        lambda: run_dispersion(
+            StarStarAdversary(136, [0], seed=0),
+            RobotSet.rooted(128, 136),
+            collect_records=False,
+        )
+    )
+
+
+def test_constant_dynamic_diameter(benchmark, report):
+    k, n = 32, 40
+    adversary = StarStarAdversary(n, [0], seed=5)
+    result = run_dispersion(adversary, RobotSet.rooted(k, n))
+    diameters = [
+        adversary.snapshot(r).diameter() for r in range(result.rounds)
+    ]
+    report.table(
+        ("rounds", "max diameter", "min diameter"),
+        [(result.rounds, max(diameters), min(diameters))],
+        title="Figure 2b -- the Omega(k) bound holds at dynamic diameter "
+        "<= 3 (paper: D-hat = O(1))",
+    )
+    assert max(diameters) <= 3
+
+    benchmark(lambda: adversary.snapshot(0).diameter())

@@ -1,0 +1,103 @@
+"""Figure 3: connected components and component spanning trees.
+
+Regenerates the figure on the reconstructed 15-node / 17-edge / 14-robot
+instance (exact parameters of the paper's example) and adds a construction
+cost scaling series: Algorithms 1 + 2 are per-round temporary computation,
+so their wall-clock cost as k grows is worth quantifying.
+"""
+
+import random
+
+from repro.analysis.figures import build_fig3_instance
+from repro.core.components import partition_into_components
+from repro.core.spanning_tree import build_spanning_tree
+from repro.graph.generators import random_connected_graph
+from repro.robots.robot import RobotSet
+from repro.sim.observation import build_info_packets
+
+
+def test_fig3_worked_example(benchmark, report):
+    instance = build_fig3_instance()
+    packets = list(
+        build_info_packets(instance.snapshot, instance.positions).values()
+    )
+    components = partition_into_components(packets)
+
+    rows = []
+    for component in components:
+        tree = build_spanning_tree(component)
+        assert tree is not None
+        rows.append(
+            (
+                str(component.representatives),
+                component.total_robots(),
+                str(component.multiplicity_representatives()),
+                tree.root,
+                str(tree.edges()),
+            )
+        )
+    report.line(
+        f"instance: n={instance.n}, m={instance.snapshot.num_edges}, "
+        f"k={instance.k} (paper's Figure 3 parameters)"
+    )
+    report.table(
+        ("component representatives", "robots", "multiplicity", "root",
+         "spanning tree edges"),
+        rows,
+        title="Figure 3 -- two components, trees rooted at the smallest-ID "
+        "multiplicity node",
+    )
+    assert {tuple(c.representatives) for c in components} == {
+        tuple(c) for c in instance.expected_components
+    }
+    assert {
+        build_spanning_tree(c).root for c in components
+    } == set(instance.expected_roots)
+
+    def pipeline():
+        comps = partition_into_components(packets)
+        return [build_spanning_tree(c) for c in comps]
+
+    benchmark(pipeline)
+
+
+def test_construction_cost_scaling(benchmark, report):
+    """Algorithm 1+2 cost on a single occupied component of growing size."""
+    rows = []
+    for k in (16, 64, 256):
+        n = k + 4
+        rng = random.Random(k)
+        snapshot = random_connected_graph(n, 2 * n, rng)
+        robots = RobotSet.arbitrary(k, n, rng, num_occupied=k - 2)
+        packets = list(
+            build_info_packets(snapshot, robots.positions).values()
+        )
+        components = partition_into_components(packets)
+        trees = [build_spanning_tree(c) for c in components]
+        rows.append(
+            (
+                k,
+                len(packets),
+                len(components),
+                sum(t.size for t in trees if t is not None),
+            )
+        )
+    report.table(
+        ("k", "occupied nodes", "components", "tree nodes"),
+        rows,
+        title="Figure 3b -- construction scales to hundreds of robots "
+        "(see timing column of pytest-benchmark)",
+    )
+
+    rng = random.Random(1)
+    snapshot = random_connected_graph(260, 520, rng)
+    robots = RobotSet.arbitrary(256, 260, rng, num_occupied=254)
+    packets = list(build_info_packets(snapshot, robots.positions).values())
+
+    def pipeline():
+        return [
+            build_spanning_tree(c)
+            for c in partition_into_components(packets)
+        ]
+
+    benchmark(pipeline)

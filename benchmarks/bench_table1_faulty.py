@@ -1,0 +1,145 @@
+"""Table I row 4 (Theorem 5): crash faults -- O(k - f) rounds, Theta(log k)
+bits.
+
+Regenerates the row as a measured series: rounds-to-dispersion as the crash
+count f grows (crashes scheduled early, the regime where the O(k - f)
+saving is visible), for both crash phases, plus the memory invariance
+check.  The timed portion is one representative faulty run.
+"""
+
+import math
+import random
+
+from repro.analysis.experiments import (
+    churn_dynamics,
+    run_dispersion,
+    summarize,
+    sweep_faults,
+)
+from repro.robots.faults import CrashPhase, CrashSchedule
+from repro.robots.robot import RobotSet
+
+K = 64
+F_VALUES = [0, 8, 16, 32, 48, 56]
+
+
+def test_rounds_vs_faults(benchmark, report):
+    data = sweep_faults(
+        K,
+        F_VALUES,
+        seeds=(0, 1, 2),
+        crash_window=2,
+        phases=[CrashPhase.BEFORE_COMMUNICATE],
+    )
+    rows = []
+    means = []
+    for f in F_VALUES:
+        stats = summarize(data[f])
+        means.append(stats["mean_rounds"])
+        rows.append(
+            (f, K - f, stats["mean_rounds"], int(stats["max_rounds"]))
+        )
+        assert stats["all_dispersed"] == 1.0
+    report.table(
+        ("f", "k-f", "mean_rounds", "max_rounds"),
+        rows,
+        title=f"Table I row 4a -- rounds vs crash count, k={K}, early "
+        "crashes (Theorem 5: O(k-f))",
+    )
+    # O(k - f) shape: rounds shrink as f grows.
+    assert means[-1] < means[0]
+    assert all(
+        mean <= (K - f) + 2 for mean, f in zip(means, F_VALUES)
+    ), "rounds must track k - f"
+
+    def faulty_run():
+        rng = random.Random(42)
+        schedule = CrashSchedule.random_schedule(
+            K, 16, 4, rng, phases=[CrashPhase.BEFORE_COMMUNICATE]
+        )
+        return run_dispersion(
+            churn_dynamics()(2 * K, 5),
+            RobotSet.rooted(K, 2 * K),
+            crash_schedule=schedule,
+            collect_records=False,
+        )
+
+    assert benchmark(faulty_run).dispersed
+
+
+def test_both_crash_phases(benchmark, report):
+    rows = []
+    for phase in CrashPhase:
+        for f in (4, 16):
+            rng = random.Random(f * 7)
+            schedule = CrashSchedule.random_schedule(
+                K, f, K // 2, rng, phases=[phase]
+            )
+            result = run_dispersion(
+                churn_dynamics()(2 * K, f),
+                RobotSet.rooted(K, 2 * K),
+                crash_schedule=schedule,
+                collect_records=False,
+            )
+            rows.append(
+                (
+                    phase.value,
+                    f,
+                    result.rounds,
+                    result.alive_count,
+                    result.dispersed,
+                )
+            )
+            assert result.dispersed
+    report.table(
+        ("crash phase", "f", "rounds", "survivors", "dispersed"),
+        rows,
+        title="Table I row 4b -- both crash points of the model solve "
+        "FAULTYDISPERSION",
+    )
+
+    def mixed_phase_run():
+        rng = random.Random(3)
+        schedule = CrashSchedule.random_schedule(K, 24, K // 2, rng)
+        return run_dispersion(
+            churn_dynamics()(2 * K, 9),
+            RobotSet.rooted(K, 2 * K),
+            crash_schedule=schedule,
+            collect_records=False,
+        )
+
+    assert benchmark(mixed_phase_run).dispersed
+
+
+def test_memory_unaffected_by_faults(benchmark, report):
+    rows = []
+    for k in (16, 64, 256):
+        rng = random.Random(k)
+        schedule = CrashSchedule.random_schedule(k, k // 4, k // 2, rng)
+        result = run_dispersion(
+            churn_dynamics()(k + 32, 1),
+            RobotSet.rooted(k, k + 32),
+            crash_schedule=schedule,
+            collect_records=False,
+        )
+        expected = math.ceil(math.log2(k + 1))
+        rows.append((k, k // 4, result.max_persistent_bits, expected))
+        assert result.max_persistent_bits == expected
+    report.table(
+        ("k", "f", "measured bits", "ceil(log2(k+1))"),
+        rows,
+        title="Table I row 4c -- crash handling costs no extra persistent "
+        "memory (Theta(log k) as in the fault-free case)",
+    )
+
+    def run_for_memory():
+        rng = random.Random(8)
+        schedule = CrashSchedule.random_schedule(64, 16, 32, rng)
+        return run_dispersion(
+            churn_dynamics()(96, 2),
+            RobotSet.rooted(64, 96),
+            crash_schedule=schedule,
+            collect_records=False,
+        ).max_persistent_bits
+
+    assert benchmark(run_for_memory) == 7

@@ -1,0 +1,110 @@
+"""Table I row 2 (Theorem 2): impossibility in the global model without
+1-neighborhood knowledge.
+
+Executable form: the clique-rewiring adversary simulates the candidate's
+round on the occupied clique, reroutes an unused clique edge towards the
+empty region, and thereby keeps every candidate's set of ever-visited nodes
+frozen at the initial k - 1 -- zero progress, forever.  The same candidates
+disperse easy static instances.  The timed portion measures the adversary's
+per-round simulate-and-rewire cost.
+"""
+
+from repro.adversary.global_impossibility import (
+    CliqueRewiringAdversary,
+    unused_clique_edge_exists,
+)
+from repro.baselines.global_candidates import GLOBAL_NO1NK_CANDIDATES
+from repro.graph.dynamic import StaticDynamicGraph
+from repro.graph.generators import star_graph
+from repro.robots.robot import RobotSet
+from repro.sim.engine import SimulationEngine
+
+STALL_ROUNDS = 400
+
+
+def theorem2_positions(k):
+    positions = {i: i - 1 for i in range(1, k)}
+    positions[k] = 0
+    return positions
+
+
+def stalled_run(candidate_cls, k=8, n=14, rounds=STALL_ROUNDS, seed=1):
+    algorithm = candidate_cls()
+    adversary = CliqueRewiringAdversary(n, algorithm, seed=seed)
+    return SimulationEngine(
+        adversary,
+        theorem2_positions(k),
+        algorithm,
+        neighborhood_knowledge=False,
+        max_rounds=rounds,
+    ).run()
+
+
+def test_global_no1nk_candidates_stall(benchmark, report):
+    k, n = 8, 14
+    rows = []
+    for candidate_cls in GLOBAL_NO1NK_CANDIDATES:
+        stalled = stalled_run(candidate_cls, k=k, n=n)
+        ever_visited = set()
+        for record in stalled.records:
+            ever_visited |= record.occupied_after
+        easy = SimulationEngine(
+            StaticDynamicGraph(star_graph(n)),
+            RobotSet.rooted(k, n),
+            candidate_cls(),
+            neighborhood_knowledge=False,
+            max_rounds=3000,
+        ).run()
+        rows.append(
+            (
+                candidate_cls.name,
+                STALL_ROUNDS,
+                stalled.dispersed,
+                len(ever_visited) - (k - 1),
+                easy.dispersed,
+                easy.rounds,
+            )
+        )
+        assert not stalled.dispersed
+        assert len(ever_visited) <= k - 1
+        assert easy.dispersed
+    report.table(
+        (
+            "candidate",
+            "adversarial rounds",
+            "dispersed",
+            "new nodes ever visited",
+            "easy static ok",
+            "easy rounds",
+        ),
+        rows,
+        title="Table I row 2 -- global w/o 1-NK: the Theorem 2 adversary "
+        "achieves zero progress forever",
+    )
+
+    benchmark(lambda: stalled_run(GLOBAL_NO1NK_CANDIDATES[0], rounds=25))
+
+
+def test_counting_argument_and_scaling(benchmark, report):
+    rows = []
+    for k in (6, 8, 12, 16):
+        n = k + 6
+        assert unused_clique_edge_exists(k)
+        result = stalled_run(
+            GLOBAL_NO1NK_CANDIDATES[1], k=k, n=n, rounds=100, seed=k
+        )
+        clique_edges = (k - 1) * (k - 2) // 2
+        rows.append((k, clique_edges, k, result.dispersed))
+        assert not result.dispersed
+    report.table(
+        ("k", "clique edges", "max robots moving", "dispersed"),
+        rows,
+        title="Table I row 2b -- the counting argument: (k-1)(k-2)/2 edges "
+        "vs k movers guarantees an unused, rewirable edge",
+    )
+
+    benchmark(
+        lambda: stalled_run(
+            GLOBAL_NO1NK_CANDIDATES[1], k=12, n=18, rounds=20, seed=3
+        )
+    )

@@ -1,0 +1,103 @@
+"""Table I row 1 (Theorem 1): impossibility in the local model with 1-NK.
+
+Executable form of the impossibility: the Figure 1 path-reforming adversary
+stalls every shipped candidate local-model algorithm for an arbitrary
+number of rounds (zero runs reach dispersion), while the identical
+candidates disperse easy static instances -- so the stall is the model's
+fault, not the candidates'.  The timed portion is one adversarial round
+loop (the adversary's per-round probing cost).
+"""
+
+from repro.adversary.local_impossibility import (
+    LocalStallAdversary,
+    build_fig1_instance,
+)
+from repro.baselines.local_candidates import LOCAL_CANDIDATES
+from repro.graph.dynamic import StaticDynamicGraph
+from repro.graph.generators import star_graph
+from repro.robots.robot import RobotSet
+from repro.sim.engine import SimulationEngine
+from repro.sim.observation import CommunicationModel
+
+STALL_ROUNDS = 400
+
+
+def stalled_run(candidate_cls, k=6, n=9, rounds=STALL_ROUNDS, seed=1):
+    instance = build_fig1_instance(k, n)
+    algorithm = candidate_cls()
+    adversary = LocalStallAdversary(n, algorithm, seed=seed)
+    return SimulationEngine(
+        adversary,
+        instance.positions,
+        algorithm,
+        communication=CommunicationModel.LOCAL,
+        max_rounds=rounds,
+    ).run()
+
+
+def test_local_candidates_stall(benchmark, report):
+    rows = []
+    for candidate_cls in LOCAL_CANDIDATES:
+        stalled = stalled_run(candidate_cls)
+        easy = SimulationEngine(
+            StaticDynamicGraph(star_graph(9)),
+            RobotSet.rooted(6, 9),
+            candidate_cls(),
+            communication=CommunicationModel.LOCAL,
+            max_rounds=500,
+        ).run()
+        max_occupied = max(
+            (len(r.occupied_after) for r in stalled.records), default=0
+        )
+        rows.append(
+            (
+                candidate_cls.name,
+                STALL_ROUNDS,
+                stalled.dispersed,
+                max_occupied,
+                6,  # k: dispersion needs 6 occupied nodes
+                easy.dispersed,
+                easy.rounds,
+            )
+        )
+        assert not stalled.dispersed
+        assert max_occupied < 6
+        assert easy.dispersed
+    report.table(
+        (
+            "candidate",
+            "adversarial rounds",
+            "dispersed",
+            "max |occupied|",
+            "needed",
+            "easy static ok",
+            "easy rounds",
+        ),
+        rows,
+        title="Table I row 1 -- local + 1-NK: the Theorem 1 adversary "
+        "stalls every candidate forever",
+    )
+
+    benchmark(lambda: stalled_run(LOCAL_CANDIDATES[0], rounds=25))
+
+
+def test_stall_scales_with_k(benchmark, report):
+    rows = []
+    for k in (6, 8, 10, 12):
+        result = stalled_run(
+            LOCAL_CANDIDATES[1], k=k, n=k + 3, rounds=120, seed=k
+        )
+        rows.append((k, result.dispersed, result.rounds))
+        assert not result.dispersed
+    report.table(
+        ("k", "dispersed", "rounds survived"),
+        rows,
+        title="Table I row 1b -- the stall holds for every k >= 5 "
+        "(paper: k >= 5 suffices for the construction)",
+    )
+
+    benchmark(
+        lambda: stalled_run(
+            LOCAL_CANDIDATES[1], k=10, n=13, rounds=20, seed=2
+        )
+    )

@@ -1,0 +1,59 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's per-experiment index).  Besides the wall-clock numbers that
+pytest-benchmark reports, each benchmark emits the *semantic* rows/series
+the paper's table or figure contains; the ``report`` fixture collects them
+and this conftest prints them after the run and archives them to
+``benchmarks/_reports/<name>.txt`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List
+
+import pytest
+
+_REPORTS: List[str] = []
+_REPORT_DIR = pathlib.Path(__file__).resolve().parent / "_reports"
+
+
+class ReportSink:
+    """Collects the semantic output of one benchmark."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lines: List[str] = []
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def table(self, headers, rows, *, title: str = "") -> None:
+        from repro.analysis.tables import format_table
+
+        self.lines.append(format_table(headers, rows, title=title))
+
+    def flush(self) -> None:
+        if not self.lines:
+            return
+        block = "\n".join(self.lines)
+        _REPORTS.append(f"== {self.name} ==\n{block}")
+        _REPORT_DIR.mkdir(exist_ok=True)
+        (_REPORT_DIR / f"{self.name}.txt").write_text(block + "\n")
+
+
+@pytest.fixture
+def report(request) -> ReportSink:
+    sink = ReportSink(request.node.name)
+    yield sink
+    sink.flush()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper reproduction reports")
+    for block in _REPORTS:
+        terminalreporter.write_line(block)
+        terminalreporter.write_line("")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Self-driving EVs spreading out over charging stations.
+
+The paper's own motivating application (Section I): self-driving electric
+cars (robots) must relocate to recharge stations (graph nodes) so that each
+car gets its own station; cars coordinate over a mesh network (global
+communication) and can sense which *adjacent* stations are occupied
+(1-neighborhood knowledge), but the road network between stations changes
+over time -- closures, congestion, one-off detours -- which is exactly the
+1-interval connected dynamic graph model.
+
+Scenario: 18 cars end a marathon event clustered at three venues near the
+city center; 24 stations are available; the road graph is re-drawn every
+round (each round keeps a random connected backbone plus some extra roads).
+The paper's algorithm slides cars outward along disjoint paths; every round
+at least one previously-unused station gains a car, so the fleet settles in
+at most k rounds regardless of how the roads change.
+
+Run:  python examples/ev_charging.py
+"""
+
+from repro import (
+    DispersionDynamic,
+    RandomChurnDynamicGraph,
+    RobotSet,
+    SimulationEngine,
+)
+from repro.analysis.render import render_progress
+
+
+def main() -> None:
+    n_stations = 24
+    cars_per_venue = {0: 8, 1: 6, 2: 4}  # three crowded venues
+    k = sum(cars_per_venue.values())
+
+    road_network = RandomChurnDynamicGraph(
+        n_stations,
+        extra_edges=12,       # some redundancy beyond the connected backbone
+        persistence=0.5,      # half the side roads survive to the next round
+        seed=2026,
+    )
+    fleet = RobotSet.from_node_loads(cars_per_venue, n_stations)
+
+    print(f"{k} cars at {len(cars_per_venue)} venues, "
+          f"{n_stations} charging stations, dynamic road network\n")
+
+    engine = SimulationEngine(road_network, fleet, DispersionDynamic())
+    result = engine.run()
+
+    print(render_progress(result))
+    print()
+    print("final assignment (car -> station):")
+    for car, station in sorted(result.final_positions.items()):
+        print(f"  car {car:>2} -> station {station}")
+
+    assert result.dispersed, "every car must end at its own station"
+    assert result.rounds <= k, "Theorem 4: at most k rounds"
+    stations_used = set(result.final_positions.values())
+    assert len(stations_used) == k, "no two cars share a station"
+    print(f"\nall {k} cars charging at distinct stations "
+          f"after {result.rounds} rounds")
+
+
+if __name__ == "__main__":
+    main()

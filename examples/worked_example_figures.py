@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Walkthrough of the paper's Figures 3 and 4 on the reconstructed instance.
+
+Figure 3 illustrates one round of the construction pipeline on a 15-node,
+17-edge graph with 14 robots: the occupied nodes split into two connected
+components, each component gets a deterministic DFS spanning tree rooted at
+its smallest-ID multiplicity node.  Figure 4 then shows the disjoint root
+paths and one round of sliding, after which each selected path has pushed
+one robot onto a previously-empty node.
+
+This script executes exactly that pipeline step by step and then lets the
+full algorithm finish the instance.
+
+Run:  python examples/worked_example_figures.py
+"""
+
+from repro import DispersionDynamic, SimulationEngine, build_info_packets
+from repro.analysis.figures import build_fig3_instance, fig3_component_summary
+from repro.analysis.render import render_configuration
+from repro.core.components import partition_into_components
+from repro.core.disjoint_paths import compute_disjoint_paths
+from repro.core.dispersion import component_moves
+from repro.core.sliding import truncate_paths
+from repro.core.spanning_tree import build_spanning_tree
+from repro.graph import StaticDynamicGraph
+
+
+def main() -> None:
+    instance = build_fig3_instance()
+    print("The reconstructed Figure 3/4 instance")
+    for line in fig3_component_summary(instance):
+        print("  " + line)
+    print()
+    print("round-r configuration (ground truth view):")
+    print(render_configuration(instance.snapshot, instance.positions))
+    print()
+
+    # --- Figure 3(a)-(b): information packets -> connected components.
+    packets = build_info_packets(instance.snapshot, instance.positions)
+    components = partition_into_components(packets.values())
+    print(f"Algorithm 1 found {len(components)} connected components:")
+    for component in components:
+        print(f"  representatives {component.representatives} "
+              f"({component.total_robots()} robots, "
+              f"multiplicity at {component.multiplicity_representatives()})")
+    expected = {tuple(c) for c in instance.expected_components}
+    assert {tuple(c.representatives) for c in components} == expected
+    print()
+
+    # --- Figure 3(c): component spanning trees.
+    print("Algorithm 2 spanning trees (root = smallest-ID multiplicity node):")
+    trees = {}
+    for component in components:
+        tree = build_spanning_tree(component)
+        assert tree is not None
+        trees[tree.root] = (component, tree)
+        print(f"  root {tree.root}: edges {tree.edges()}")
+    assert set(trees) == set(instance.expected_roots)
+    print()
+
+    # --- Figure 4(a): disjoint root paths.
+    print("Algorithm 3 disjoint root paths (incl. Algorithm 4 truncation):")
+    for root, (component, tree) in sorted(trees.items()):
+        paths = compute_disjoint_paths(tree, component)
+        kept = truncate_paths(paths, component.node(root).robot_count)
+        print(f"  root {root}: candidates "
+              f"{[list(p.nodes) for p in paths]}, kept "
+              f"{[list(p.nodes) for p in kept]}")
+    print()
+
+    # --- Figure 4(b): one round of sliding.
+    print("sliding moves of this round (robot -> exit port):")
+    for root, (component, tree) in sorted(trees.items()):
+        moves = component_moves(component)
+        print(f"  component of root {root}: {moves}")
+    print()
+
+    # --- Let the full algorithm run the instance to dispersion.
+    engine = SimulationEngine(
+        StaticDynamicGraph(instance.snapshot),
+        instance.positions,
+        DispersionDynamic(),
+    )
+    result = engine.run()
+    print(f"full run: {result.summary()}")
+    assert result.dispersed
+    assert result.rounds <= instance.k - len(
+        set(instance.positions.values())
+    ), "Theorem 4 bound on this instance"
+    print("the instance disperses, one new node occupied per component "
+          "per round, exactly as Figure 4 depicts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environments this repo targets may lack the ``wheel`` package
+that PEP 660 editable installs require; with this shim,
+``pip install -e . --no-build-isolation --no-use-pep517`` works everywhere.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

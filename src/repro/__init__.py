@@ -1,0 +1,134 @@
+"""repro -- reproduction of "Efficient Dispersion of Mobile Robots on
+Dynamic Graphs" (Kshemkalyani, Molla, Sharma; ICDCS 2020).
+
+The package implements the paper end to end:
+
+* a synchronous round-based simulator of ``k <= n`` mobile robots on
+  ``n``-node anonymous, port-labelled, 1-interval connected dynamic graphs
+  (:mod:`repro.graph`, :mod:`repro.sim`, :mod:`repro.robots`);
+* the paper's O(k)-round, Theta(log k)-bit dispersion algorithm built from
+  connected components, component spanning trees, disjoint root paths and
+  sliding (:mod:`repro.core`), including the Section VII crash-fault
+  extension;
+* the worst-case adversaries of the impossibility results (Theorems 1 and
+  2) and of the Omega(k) lower bound (Theorem 3)
+  (:mod:`repro.adversary`);
+* baseline algorithms from the static-graph literature for contrast
+  (:mod:`repro.baselines`);
+* experiment harnesses regenerating every table and figure of the paper
+  (:mod:`repro.analysis`, plus the ``benchmarks/`` tree of the repo).
+
+Quickstart::
+
+    import random
+    from repro import (
+        DispersionDynamic, RandomChurnDynamicGraph, RobotSet,
+        SimulationEngine,
+    )
+
+    dyn = RandomChurnDynamicGraph(n=40, extra_edges=20, seed=7)
+    robots = RobotSet.arbitrary(k=30, n=40, rng=random.Random(7))
+    result = SimulationEngine(dyn, robots, DispersionDynamic()).run()
+    assert result.dispersed and result.rounds <= 30
+"""
+
+from repro.graph import (
+    DynamicGraph,
+    FunctionalDynamicGraph,
+    GraphSnapshot,
+    GraphValidationError,
+    PortLabeledEdge,
+    RandomChurnDynamicGraph,
+    SequenceDynamicGraph,
+    StaticDynamicGraph,
+    TIntervalChurnDynamicGraph,
+    validate_snapshot,
+)
+from repro.robots import (
+    CrashEvent,
+    CrashPhase,
+    CrashSchedule,
+    RobotSet,
+)
+from repro.sim import (
+    ActivationSchedule,
+    CommunicationModel,
+    FullActivation,
+    RandomSubsetActivation,
+    RoundRobinActivation,
+    InfoPacket,
+    MoveDecision,
+    NeighborInfo,
+    Observation,
+    RobotAlgorithm,
+    RoundRecord,
+    RunResult,
+    SimulationEngine,
+    SimulationError,
+    StayDecision,
+    TerminationReason,
+    build_info_packets,
+    build_observations,
+)
+from repro.core import (
+    ComponentGraph,
+    DispersionDynamic,
+    RootPath,
+    SpanningTree,
+    build_component,
+    build_spanning_tree,
+    compute_disjoint_paths,
+    compute_sliding_moves,
+    partition_into_components,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # graph
+    "DynamicGraph",
+    "FunctionalDynamicGraph",
+    "GraphSnapshot",
+    "GraphValidationError",
+    "PortLabeledEdge",
+    "RandomChurnDynamicGraph",
+    "SequenceDynamicGraph",
+    "StaticDynamicGraph",
+    "TIntervalChurnDynamicGraph",
+    "validate_snapshot",
+    # robots
+    "CrashEvent",
+    "CrashPhase",
+    "CrashSchedule",
+    "RobotSet",
+    # sim
+    "ActivationSchedule",
+    "CommunicationModel",
+    "FullActivation",
+    "RandomSubsetActivation",
+    "RoundRobinActivation",
+    "InfoPacket",
+    "MoveDecision",
+    "NeighborInfo",
+    "Observation",
+    "RobotAlgorithm",
+    "RoundRecord",
+    "RunResult",
+    "SimulationEngine",
+    "SimulationError",
+    "StayDecision",
+    "TerminationReason",
+    "build_info_packets",
+    "build_observations",
+    # core
+    "ComponentGraph",
+    "DispersionDynamic",
+    "RootPath",
+    "SpanningTree",
+    "build_component",
+    "build_spanning_tree",
+    "compute_disjoint_paths",
+    "compute_sliding_moves",
+    "partition_into_components",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Worst-case adversaries from the paper's proofs.
+
+The paper's dynamic graph is chosen by an adaptive adversary that knows the
+algorithm and all state so far.  This package implements the three explicit
+adversarial constructions:
+
+* :mod:`repro.adversary.star_lower_bound` -- the Theorem 3 / Figure 2
+  dynamic tree (two stars joined at their centers) under which at most one
+  new node can be occupied per round, forcing Omega(k) rounds at dynamic
+  diameter 3;
+* :mod:`repro.adversary.local_impossibility` -- the Theorem 1 / Figure 1
+  path construction showing DISPERSION unsolvable in the *local*
+  communication model even with 1-neighborhood knowledge;
+* :mod:`repro.adversary.global_impossibility` -- the Theorem 2
+  clique-rewiring construction showing DISPERSION unsolvable in the
+  *global* communication model without 1-neighborhood knowledge.
+
+Impossibility theorems quantify over all algorithms and cannot be "run"
+universally; what these modules provide is (a) the exact constructions of
+the proofs as executable adversaries, (b) mechanical checks of the symmetry
+arguments, and (c) stall demonstrations against concrete candidate
+algorithms (see :mod:`repro.baselines.local_candidates` and
+:mod:`repro.baselines.global_candidates`).
+"""
+
+from repro.adversary.star_lower_bound import StarStarAdversary
+from repro.adversary.local_impossibility import (
+    Fig1Instance,
+    LocalStallAdversary,
+    build_fig1_instance,
+    id_oblivious_view,
+    interior_views_are_symmetric,
+)
+from repro.adversary.global_impossibility import (
+    CliqueRewiringAdversary,
+    unused_clique_edge_exists,
+)
+
+__all__ = [
+    "StarStarAdversary",
+    "Fig1Instance",
+    "LocalStallAdversary",
+    "build_fig1_instance",
+    "id_oblivious_view",
+    "interior_views_are_symmetric",
+    "CliqueRewiringAdversary",
+    "unused_clique_edge_exists",
+]

@@ -1,0 +1,362 @@
+"""The one-shot reproduction campaign.
+
+``run_campaign()`` executes a compact version of every experiment in
+EXPERIMENTS.md -- Table I's four rows, the Figure 2 tightness check, the
+Figure 3/4 worked example, and the baseline/ring contrasts -- and returns a
+structured report renderable as markdown or plain text.  It is what
+``repro-dispersion campaign`` prints, and doubles as the library's
+self-check: every section carries a pass/fail verdict against the paper's
+expected shape.
+
+Scales: ``"quick"`` (seconds; k up to 64) and ``"full"`` (the benchmark
+suite's sizes, k up to 256).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.adversary.star_lower_bound import StarStarAdversary
+from repro.analysis.experiments import (
+    churn_dynamics,
+    run_dispersion,
+    summarize,
+    sweep_faults,
+    sweep_rounds_vs_k,
+)
+from repro.analysis.statistics import fit_line
+from repro.analysis.tables import format_table
+from repro.core.dispersion import DispersionDynamic
+from repro.robots.faults import CrashPhase
+from repro.robots.robot import RobotSet
+from repro.sim.engine import SimulationEngine
+from repro.sim.observation import CommunicationModel
+
+
+@dataclass
+class CampaignSection:
+    """One experiment's rendered table plus its verdict."""
+
+    title: str
+    body: str
+    passed: bool
+
+    def render(self) -> str:
+        """The section as '[PASS/FAIL] title' plus its table."""
+        verdict = "PASS" if self.passed else "FAIL"
+        return f"[{verdict}] {self.title}\n{self.body}"
+
+
+@dataclass
+class CampaignReport:
+    """All sections of one campaign run."""
+
+    scale: str
+    sections: List[CampaignSection] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        """Whether every experiment matched the paper's expected shape."""
+        return all(section.passed for section in self.sections)
+
+    def render(self) -> str:
+        """The whole campaign report as plain text."""
+        header = (
+            f"reproduction campaign ({self.scale} scale): "
+            f"{sum(s.passed for s in self.sections)}/{len(self.sections)} "
+            "experiments match the paper's shape"
+        )
+        blocks = [header, "=" * len(header)]
+        blocks += [section.render() for section in self.sections]
+        return "\n\n".join(blocks)
+
+
+def _k_values(scale: str) -> List[int]:
+    return [8, 16, 32, 64] if scale == "quick" else [8, 16, 32, 64, 128, 256]
+
+
+def _section_algorithm(scale: str) -> CampaignSection:
+    k_values = _k_values(scale)
+    data = sweep_rounds_vs_k(k_values, seeds=(0, 1))
+    rows = []
+    means = []
+    ok = True
+    for k in k_values:
+        stats = summarize(data[k])
+        means.append(stats["mean_rounds"])
+        within = stats["max_rounds"] <= k - 1
+        ok &= within and stats["all_dispersed"] == 1.0
+        rows.append((k, stats["mean_rounds"], k - 1, within))
+    fit = fit_line([float(k) for k in k_values], means)
+    ok &= 0.0 < fit.slope <= 1.0
+    body = format_table(("k", "mean rounds", "bound k-1", "within"), rows)
+    body += f"\nlinear fit slope {fit.slope:.3f} (Theta(k) shape)"
+    return CampaignSection(
+        "Table I row 3 -- O(k) rounds on random churn", body, ok
+    )
+
+
+def _section_lower_bound(scale: str) -> CampaignSection:
+    rows = []
+    ok = True
+    for k in _k_values(scale):
+        n = k + 6
+        result = run_dispersion(
+            StarStarAdversary(n, [0], seed=k),
+            RobotSet.rooted(k, n),
+            collect_records=False,
+            max_rounds=2 * k,
+        )
+        tight = result.dispersed and result.rounds == k - 1
+        ok &= tight
+        rows.append((k, result.rounds, k - 1, tight))
+    return CampaignSection(
+        "Figure 2 / Theorem 3 -- the Omega(k) bound is met exactly",
+        format_table(("k", "rounds", "k-1", "tight"), rows),
+        ok,
+    )
+
+
+def _section_memory(scale: str) -> CampaignSection:
+    rows = []
+    ok = True
+    for k in _k_values(scale):
+        n = k + 8
+        result = run_dispersion(
+            churn_dynamics()(n, 1),
+            RobotSet.rooted(k, n),
+            collect_records=False,
+        )
+        expected = math.ceil(math.log2(k + 1))
+        ok &= result.max_persistent_bits == expected
+        rows.append((k, result.max_persistent_bits, expected))
+    return CampaignSection(
+        "Lemma 8 -- Theta(log k) persistent bits",
+        format_table(("k", "measured bits", "ceil(log2(k+1))"), rows),
+        ok,
+    )
+
+
+def _section_faults(scale: str) -> CampaignSection:
+    k = 32 if scale == "quick" else 64
+    f_values = [0, k // 4, k // 2, (3 * k) // 4]
+    data = sweep_faults(
+        k,
+        f_values,
+        seeds=(0, 1),
+        crash_window=2,
+        phases=[CrashPhase.BEFORE_COMMUNICATE],
+    )
+    rows = []
+    means = []
+    ok = True
+    for f in f_values:
+        stats = summarize(data[f])
+        means.append(stats["mean_rounds"])
+        ok &= stats["all_dispersed"] == 1.0
+        rows.append((f, k - f, stats["mean_rounds"]))
+    ok &= means[-1] < means[0]
+    return CampaignSection(
+        f"Table I row 4 -- O(k-f) rounds under crashes (k={k})",
+        format_table(("f", "k-f", "mean rounds"), rows),
+        ok,
+    )
+
+
+def _section_impossibility_local(scale: str) -> CampaignSection:
+    from repro.adversary.local_impossibility import (
+        LocalStallAdversary,
+        build_fig1_instance,
+        interior_views_are_symmetric,
+    )
+    from repro.baselines.local_candidates import LOCAL_CANDIDATES
+
+    rounds = 100 if scale == "quick" else 400
+    instance = build_fig1_instance(6, 9)
+    rows = []
+    ok = interior_views_are_symmetric(instance)
+    for candidate_cls in LOCAL_CANDIDATES:
+        algorithm = candidate_cls()
+        adversary = LocalStallAdversary(9, algorithm, seed=1)
+        result = SimulationEngine(
+            adversary,
+            instance.positions,
+            algorithm,
+            communication=CommunicationModel.LOCAL,
+            max_rounds=rounds,
+        ).run()
+        ok &= not result.dispersed
+        rows.append((candidate_cls.name, rounds, result.dispersed))
+    return CampaignSection(
+        "Table I row 1 / Figure 1 -- local-model candidates stall",
+        format_table(("candidate", "rounds given", "dispersed"), rows),
+        ok,
+    )
+
+
+def _section_impossibility_global(scale: str) -> CampaignSection:
+    from repro.adversary.global_impossibility import CliqueRewiringAdversary
+    from repro.baselines.global_candidates import GLOBAL_NO1NK_CANDIDATES
+
+    rounds = 100 if scale == "quick" else 400
+    k, n = 8, 14
+    positions = {i: i - 1 for i in range(1, k)}
+    positions[k] = 0
+    rows = []
+    ok = True
+    for candidate_cls in GLOBAL_NO1NK_CANDIDATES:
+        algorithm = candidate_cls()
+        adversary = CliqueRewiringAdversary(n, algorithm, seed=1)
+        result = SimulationEngine(
+            adversary,
+            dict(positions),
+            algorithm,
+            neighborhood_knowledge=False,
+            max_rounds=rounds,
+        ).run()
+        visited = set()
+        for record in result.records:
+            visited |= record.occupied_after
+        new_nodes = len(visited) - (k - 1) if result.records else 0
+        ok &= (not result.dispersed) and new_nodes == 0
+        rows.append((candidate_cls.name, rounds, new_nodes))
+    return CampaignSection(
+        "Table I row 2 -- no-1-NK candidates make zero progress",
+        format_table(("candidate", "rounds given", "new nodes visited"), rows),
+        ok,
+    )
+
+
+def _section_figure34(scale: str) -> CampaignSection:
+    from repro.analysis.figures import build_fig3_instance
+    from repro.core.components import partition_into_components
+    from repro.core.spanning_tree import build_spanning_tree
+    from repro.graph.dynamic import StaticDynamicGraph
+    from repro.sim.observation import build_info_packets
+
+    instance = build_fig3_instance()
+    packets = list(
+        build_info_packets(instance.snapshot, instance.positions).values()
+    )
+    components = partition_into_components(packets)
+    roots = sorted(
+        build_spanning_tree(c).root for c in components
+    )
+    result = SimulationEngine(
+        StaticDynamicGraph(instance.snapshot),
+        instance.positions,
+        DispersionDynamic(),
+    ).run()
+    ok = (
+        {tuple(c.representatives) for c in components}
+        == {tuple(c) for c in instance.expected_components}
+        and tuple(roots) == tuple(sorted(instance.expected_roots))
+        and result.dispersed
+    )
+    rows = [
+        (str([list(c.representatives) for c in components]), str(roots),
+         result.rounds, result.dispersed)
+    ]
+    return CampaignSection(
+        "Figures 3 & 4 -- the worked example (15 nodes / 17 edges / "
+        "14 robots)",
+        format_table(("components", "roots", "rounds", "dispersed"), rows),
+        ok,
+    )
+
+
+def _section_ring(scale: str) -> CampaignSection:
+    from repro.baselines.ring_walk import RingWalkDispersion
+    from repro.graph.rings import RingDynamicGraph
+
+    n, k = 12, 8
+    walker = RingWalkDispersion()
+    blocked = SimulationEngine(
+        RingDynamicGraph(n, mode="blocking", seed=1, algorithm=walker),
+        RobotSet.rooted(k, n),
+        walker,
+        communication=CommunicationModel.LOCAL,
+        max_rounds=150 if scale == "quick" else 400,
+    ).run()
+    paper_algorithm = DispersionDynamic()
+    paper = SimulationEngine(
+        RingDynamicGraph(
+            n,
+            mode="blocking",
+            seed=1,
+            algorithm=paper_algorithm,
+            communication=CommunicationModel.GLOBAL,
+        ),
+        RobotSet.rooted(k, n),
+        paper_algorithm,
+    ).run()
+    ok = (not blocked.dispersed) and paper.dispersed and paper.rounds <= k - 1
+    rows = [
+        ("ring walker (local)", blocked.dispersed, blocked.rounds),
+        ("paper algorithm (global+1NK)", paper.dispersed, paper.rounds),
+    ]
+    return CampaignSection(
+        "E6 -- dynamic rings: blocking adversary vs both algorithms",
+        format_table(("algorithm", "dispersed", "rounds"), rows),
+        ok,
+    )
+
+
+def _section_byzantine(scale: str) -> CampaignSection:
+    from repro.graph.dynamic import RandomChurnDynamicGraph
+    from repro.robots.byzantine import HideMultiplicity
+
+    n, k = 20, 12
+    budget = 120 if scale == "quick" else 300
+    honest = SimulationEngine(
+        RandomChurnDynamicGraph(n, extra_edges=n // 2, seed=2),
+        RobotSet.rooted(k, n),
+        DispersionDynamic(),
+        max_rounds=budget,
+    ).run()
+    attacked = SimulationEngine(
+        RandomChurnDynamicGraph(n, extra_edges=n // 2, seed=2),
+        RobotSet.rooted(k, n),
+        DispersionDynamic(),
+        byzantine_policies={1: HideMultiplicity()},
+        max_rounds=budget,
+    ).run()
+    ok = honest.dispersed and not attacked.dispersed and (
+        attacked.total_moves == 0
+    )
+    rows = [
+        ("honest", honest.dispersed, honest.rounds, honest.total_moves),
+        ("1 liar (hide multiplicity)", attacked.dispersed,
+         attacked.rounds, attacked.total_moves),
+    ]
+    return CampaignSection(
+        "E7 -- byzantine: one packet-forging robot livelocks Algorithm 4",
+        format_table(("fleet", "dispersed", "rounds", "moves"), rows),
+        ok,
+    )
+
+
+_SECTIONS = (
+    _section_algorithm,
+    _section_lower_bound,
+    _section_memory,
+    _section_faults,
+    _section_impossibility_local,
+    _section_impossibility_global,
+    _section_figure34,
+    _section_ring,
+    _section_byzantine,
+)
+
+
+def run_campaign(scale: str = "quick") -> CampaignReport:
+    """Execute every experiment at the given scale; see module docstring."""
+    if scale not in ("quick", "full"):
+        raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
+    report = CampaignReport(scale=scale)
+    for build_section in _SECTIONS:
+        report.sections.append(build_section(scale))
+    return report

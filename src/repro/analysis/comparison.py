@@ -1,0 +1,148 @@
+"""Head-to-head algorithm comparison on identical instances.
+
+The contrast experiments (E1, E6) compare algorithms by hand; this module
+generalizes the pattern into a harness: run any set of named algorithms on
+the *same* sequence of instances (same graphs, same placements, each
+algorithm in its own declared model), and produce a comparison table with
+completion rates, round statistics, move volume, and pairwise speedups.
+
+Fairness rules baked in:
+
+* every algorithm sees the same dynamic graph realization (oblivious
+  processes are rebuilt from the same seed; adaptive adversaries are
+  *per-algorithm by definition* -- the harness rebuilds them around each
+  contender, which is the honest comparison for worst-case analysis);
+* each algorithm runs in the communication/sensing model it declares, so
+  a local-model baseline is not silently given global information;
+* round budgets are shared, and non-completion is reported rather than
+  dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.statistics import summarize_samples
+from repro.analysis.tables import format_table
+from repro.graph.dynamic import DynamicGraph
+from repro.robots.robot import RobotSet
+from repro.sim.algorithm import RobotAlgorithm
+from repro.sim.engine import SimulationEngine
+
+
+@dataclass(frozen=True)
+class Contender:
+    """One algorithm entered into a comparison."""
+
+    name: str
+    algorithm_factory: Callable[[], RobotAlgorithm]
+
+    def build(self) -> RobotAlgorithm:
+        """A fresh algorithm instance (state must not leak across runs)."""
+        return self.algorithm_factory()
+
+
+@dataclass
+class ComparisonResult:
+    """Aggregated outcomes of one comparison."""
+
+    instances: int
+    budget: int
+    completed: Dict[str, int]
+    rounds: Dict[str, List[float]]
+    moves: Dict[str, List[float]]
+
+    def completion_rate(self, name: str) -> float:
+        """Fraction of instances the contender dispersed within budget."""
+        return self.completed[name] / self.instances
+
+    def mean_rounds(self, name: str) -> Optional[float]:
+        """Mean rounds over *completed* instances (None if none)."""
+        values = self.rounds[name]
+        return summarize_samples(values).mean if values else None
+
+    def speedup(self, baseline: str, improved: str) -> Optional[float]:
+        """mean_rounds(baseline) / mean_rounds(improved), if both exist."""
+        base = self.mean_rounds(baseline)
+        new = self.mean_rounds(improved)
+        if base is None or new is None or new == 0:
+            return None
+        return base / new
+
+    def table(self, *, title: str = "") -> str:
+        """The comparison as an aligned text table."""
+        rows = []
+        for name in sorted(self.completed):
+            mean = self.mean_rounds(name)
+            move_values = self.moves[name]
+            rows.append(
+                (
+                    name,
+                    f"{self.completed[name]}/{self.instances}",
+                    mean if mean is not None else float("nan"),
+                    (
+                        summarize_samples(move_values).mean
+                        if move_values
+                        else float("nan")
+                    ),
+                )
+            )
+        return format_table(
+            ("algorithm", "completed", "mean rounds", "mean moves"),
+            rows,
+            title=title or f"comparison over {self.instances} instances "
+            f"(budget {self.budget} rounds)",
+        )
+
+
+def compare(
+    contenders: Sequence[Contender],
+    dynamics_factory: Callable[[int, RobotAlgorithm], DynamicGraph],
+    robots_factory: Callable[[int], RobotSet],
+    *,
+    seeds: Sequence[int] = (0, 1, 2),
+    budget: int = 500,
+) -> ComparisonResult:
+    """Run every contender on every seeded instance.
+
+    ``dynamics_factory(seed, algorithm)`` builds the dynamic graph; the
+    algorithm argument exists so adaptive adversaries can probe the very
+    contender they are attacking (pass-through for oblivious processes).
+    ``robots_factory(seed)`` builds the placement.  Each contender runs in
+    the model it declares via its class attributes.
+    """
+    if not contenders:
+        raise ValueError("need at least one contender")
+    names = [c.name for c in contenders]
+    if len(set(names)) != len(names):
+        raise ValueError("contender names must be unique")
+
+    result = ComparisonResult(
+        instances=len(seeds),
+        budget=budget,
+        completed={c.name: 0 for c in contenders},
+        rounds={c.name: [] for c in contenders},
+        moves={c.name: [] for c in contenders},
+    )
+    for seed in seeds:
+        robots = robots_factory(seed)
+        for contender in contenders:
+            algorithm = contender.build()
+            engine = SimulationEngine(
+                dynamics_factory(seed, algorithm),
+                robots,
+                algorithm,
+                communication=algorithm.requires_communication,
+                neighborhood_knowledge=(
+                    algorithm.requires_neighborhood_knowledge
+                ),
+                max_rounds=budget,
+                collect_records=False,
+            )
+            run = engine.run()
+            if run.dispersed:
+                result.completed[contender.name] += 1
+                result.rounds[contender.name].append(float(run.rounds))
+            result.moves[contender.name].append(float(run.total_moves))
+    return result

@@ -1,0 +1,163 @@
+"""Graphviz DOT export of snapshots, configurations, and the Figure 3/4
+structures.
+
+Pure text generation (no graphviz dependency): paste the output into any
+DOT renderer to obtain pictures in the style of the paper's figures --
+occupied nodes labelled with their robots, component spanning-tree edges
+highlighted, disjoint root paths colored.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.components import ComponentGraph
+from repro.core.disjoint_paths import RootPath
+from repro.core.spanning_tree import SpanningTree
+from repro.graph.snapshot import GraphSnapshot
+
+_PALETTE = ("forestgreen", "firebrick", "royalblue", "darkorange", "purple")
+
+
+def _robots_at(positions: Mapping[int, int]) -> Dict[int, List[int]]:
+    at: Dict[int, List[int]] = {}
+    for robot_id, node in positions.items():
+        at.setdefault(node, []).append(robot_id)
+    for ids in at.values():
+        ids.sort()
+    return at
+
+
+def configuration_to_dot(
+    snapshot: GraphSnapshot,
+    positions: Mapping[int, int],
+    *,
+    name: str = "configuration",
+    show_ports: bool = True,
+) -> str:
+    """One round's graph with robot occupancy, as an undirected DOT graph.
+
+    Occupied nodes are drawn filled, multiplicity nodes double-circled;
+    edge labels carry the two port numbers (``u_port/v_port``).
+    """
+    robots_at = _robots_at(positions)
+    lines = [f"graph {name} {{", "  node [fontsize=10];"]
+    for node in snapshot.nodes():
+        ids = robots_at.get(node)
+        if ids:
+            label = f"v{node}\\n{{{','.join(str(r) for r in ids)}}}"
+            shape = "doublecircle" if len(ids) >= 2 else "circle"
+            lines.append(
+                f'  n{node} [label="{label}", shape={shape}, '
+                'style=filled, fillcolor=lightgray];'
+            )
+        else:
+            lines.append(f'  n{node} [label="v{node}", shape=circle];')
+    for edge in snapshot.edges():
+        attrs = ""
+        if show_ports:
+            attrs = f' [label="{edge.port_u}/{edge.port_v}", fontsize=8]'
+        lines.append(f"  n{edge.u} -- n{edge.v}{attrs};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def components_to_dot(
+    snapshot: GraphSnapshot,
+    positions: Mapping[int, int],
+    components: Sequence[ComponentGraph],
+    *,
+    trees: Optional[Mapping[int, SpanningTree]] = None,
+    paths: Optional[Mapping[int, Sequence[RootPath]]] = None,
+    name: str = "components",
+) -> str:
+    """The Figure 3/4 picture: components colored, spanning-tree edges
+    bold, disjoint root paths highlighted.
+
+    ``trees`` and ``paths`` are keyed by the component's root
+    representative.  Node identity is mapped back to ground-truth nodes
+    via the smallest-robot-ID-per-node convention.
+    """
+    robots_at = _robots_at(positions)
+    node_of_rep = {ids[0]: node for node, ids in robots_at.items()}
+    color_of_node: Dict[int, str] = {}
+    tree_edges: Set[Tuple[int, int]] = set()
+    path_edges: Set[Tuple[int, int]] = set()
+
+    for index, component in enumerate(components):
+        color = _PALETTE[index % len(_PALETTE)]
+        for rep in component.representatives:
+            color_of_node[node_of_rep[rep]] = color
+        tree = (trees or {}).get(
+            component.multiplicity_representatives()[0]
+            if component.multiplicity_representatives()
+            else -1
+        )
+        if tree is not None:
+            for parent, child in tree.edges():
+                a, b = node_of_rep[parent], node_of_rep[child]
+                tree_edges.add((min(a, b), max(a, b)))
+            for path in (paths or {}).get(tree.root, []):
+                for rep_a, rep_b in zip(path.nodes, path.nodes[1:]):
+                    a, b = node_of_rep[rep_a], node_of_rep[rep_b]
+                    path_edges.add((min(a, b), max(a, b)))
+
+    lines = [f"graph {name} {{", "  node [fontsize=10];"]
+    for node in snapshot.nodes():
+        ids = robots_at.get(node)
+        if ids:
+            color = color_of_node.get(node, "lightgray")
+            shape = "doublecircle" if len(ids) >= 2 else "circle"
+            label = f"v{node}\\n{{{','.join(str(r) for r in ids)}}}"
+            lines.append(
+                f'  n{node} [label="{label}", shape={shape}, '
+                f"style=filled, fillcolor={color}, fontcolor=white];"
+            )
+        else:
+            lines.append(f'  n{node} [label="v{node}", shape=circle];')
+    for edge in snapshot.edges():
+        key = (edge.u, edge.v)
+        if key in path_edges:
+            attrs = " [penwidth=3, color=black]"
+        elif key in tree_edges:
+            attrs = " [penwidth=2, style=bold]"
+        else:
+            attrs = " [style=dashed, color=gray]"
+        lines.append(f"  n{edge.u} -- n{edge.v}{attrs};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def figure3_dot() -> str:
+    """The reconstructed Figure 3/4 instance, fully annotated."""
+    from repro.analysis.figures import build_fig3_instance
+    from repro.core.components import partition_into_components
+    from repro.core.disjoint_paths import compute_disjoint_paths
+    from repro.core.sliding import truncate_paths
+    from repro.core.spanning_tree import build_spanning_tree
+    from repro.sim.observation import build_info_packets
+
+    instance = build_fig3_instance()
+    packets = list(
+        build_info_packets(instance.snapshot, instance.positions).values()
+    )
+    components = partition_into_components(packets)
+    trees: Dict[int, SpanningTree] = {}
+    paths: Dict[int, List[RootPath]] = {}
+    for component in components:
+        tree = build_spanning_tree(component)
+        if tree is None:
+            continue
+        trees[tree.root] = tree
+        selected = compute_disjoint_paths(tree, component)
+        paths[tree.root] = truncate_paths(
+            selected, component.node(tree.root).robot_count
+        )
+    return components_to_dot(
+        instance.snapshot,
+        instance.positions,
+        components,
+        trees=trees,
+        paths=paths,
+        name="figure3",
+    )

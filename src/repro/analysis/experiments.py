@@ -1,0 +1,193 @@
+"""High-level experiment runners and parameter sweeps.
+
+These helpers standardize how the benchmarks, examples and integration
+tests launch runs: one call builds the dynamic graph, the placement, the
+algorithm and the engine, and returns a compact :class:`DispersionOutcome`
+row.  Sweeps aggregate rows over seeds so benchmark output reports
+mean/min/max like the tables of an experimental-systems paper would.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.dispersion import DispersionDynamic
+from repro.graph.dynamic import (
+    DynamicGraph,
+    RandomChurnDynamicGraph,
+    StaticDynamicGraph,
+)
+from repro.robots.faults import CrashPhase, CrashSchedule
+from repro.robots.robot import RobotSet
+from repro.sim.algorithm import RobotAlgorithm
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import RunResult
+
+
+@dataclass(frozen=True)
+class DispersionOutcome:
+    """One run's headline numbers, ready for a report row."""
+
+    k: int
+    n: int
+    initial_occupied: int
+    rounds: int
+    total_moves: int
+    max_persistent_bits: int
+    dispersed: bool
+    alive: int
+    faults: int
+
+    @classmethod
+    def from_result(cls, result: RunResult, faults: int = 0) -> "DispersionOutcome":
+        return cls(
+            k=result.k,
+            n=result.n,
+            initial_occupied=result.initial_occupied,
+            rounds=result.rounds,
+            total_moves=result.total_moves,
+            max_persistent_bits=result.max_persistent_bits,
+            dispersed=result.dispersed,
+            alive=result.alive_count,
+            faults=faults,
+        )
+
+
+DynamicsFactory = Callable[[int, int], DynamicGraph]
+"""``(n, seed) -> DynamicGraph`` builder used by sweeps."""
+
+
+def churn_dynamics(extra_edges_per_node: float = 0.5) -> DynamicsFactory:
+    """A random-churn dynamics factory with edge budget scaled by ``n``."""
+
+    def build(n: int, seed: int) -> DynamicGraph:
+        return RandomChurnDynamicGraph(
+            n, extra_edges=int(extra_edges_per_node * n), seed=seed
+        )
+
+    return build
+
+
+def static_dynamics(
+    builder: Callable[[int, random.Random], "object"],
+) -> DynamicsFactory:
+    """Wrap a graph-family builder ``(n, rng) -> snapshot`` as static
+    dynamics."""
+
+    def build(n: int, seed: int) -> DynamicGraph:
+        return StaticDynamicGraph(builder(n, random.Random(seed)))
+
+    return build
+
+
+def run_dispersion(
+    dynamic_graph: DynamicGraph,
+    robots: RobotSet,
+    *,
+    algorithm: Optional[RobotAlgorithm] = None,
+    crash_schedule: Optional[CrashSchedule] = None,
+    max_rounds: Optional[int] = None,
+    collect_records: bool = True,
+) -> RunResult:
+    """Run the paper's algorithm (or a supplied one) on an instance."""
+    engine = SimulationEngine(
+        dynamic_graph,
+        robots,
+        algorithm if algorithm is not None else DispersionDynamic(),
+        crash_schedule=crash_schedule,
+        max_rounds=max_rounds,
+        collect_records=collect_records,
+    )
+    return engine.run()
+
+
+def sweep_rounds_vs_k(
+    k_values: Sequence[int],
+    *,
+    n_for_k: Callable[[int], int] = lambda k: 2 * k,
+    dynamics: Optional[DynamicsFactory] = None,
+    rooted: bool = True,
+    seeds: Sequence[int] = (0, 1, 2),
+    algorithm_factory: Callable[[], RobotAlgorithm] = DispersionDynamic,
+) -> Dict[int, List[DispersionOutcome]]:
+    """Rounds-to-dispersion as a function of ``k`` (Table I row 3 shape).
+
+    Returns ``{k: [outcome per seed]}``.  Defaults: rooted starts on random
+    churn with ``n = 2k``.
+    """
+    dynamics = dynamics or churn_dynamics()
+    results: Dict[int, List[DispersionOutcome]] = {}
+    for k in k_values:
+        n = n_for_k(k)
+        rows: List[DispersionOutcome] = []
+        for seed in seeds:
+            dyn = dynamics(n, seed)
+            if rooted:
+                robots = RobotSet.rooted(k, n)
+            else:
+                robots = RobotSet.arbitrary(k, n, random.Random(seed))
+            result = run_dispersion(
+                dyn,
+                robots,
+                algorithm=algorithm_factory(),
+                collect_records=False,
+                max_rounds=4 * k + 64,
+            )
+            rows.append(DispersionOutcome.from_result(result))
+        results[k] = rows
+    return results
+
+
+def sweep_faults(
+    k: int,
+    f_values: Sequence[int],
+    *,
+    n: Optional[int] = None,
+    dynamics: Optional[DynamicsFactory] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    crash_window: Optional[int] = None,
+    phases: Optional[List[CrashPhase]] = None,
+) -> Dict[int, List[DispersionOutcome]]:
+    """Rounds-to-dispersion as a function of the crash count ``f``
+    (Table I row 4 / Theorem 5 shape).
+
+    Crashes are scheduled uniformly in ``[0, crash_window]`` (default:
+    early, within the first ``k // 2`` rounds, which is the regime where
+    Theorem 5's O(k - f) saving is visible).
+    """
+    n = n or 2 * k
+    dynamics = dynamics or churn_dynamics()
+    window = crash_window if crash_window is not None else max(1, k // 2)
+    results: Dict[int, List[DispersionOutcome]] = {}
+    for f in f_values:
+        rows: List[DispersionOutcome] = []
+        for seed in seeds:
+            rng = random.Random(f"fault:{k}:{f}:{seed}")
+            schedule = CrashSchedule.random_schedule(
+                k, f, window, rng, phases=phases
+            )
+            result = run_dispersion(
+                dynamics(n, seed),
+                RobotSet.rooted(k, n),
+                crash_schedule=schedule,
+                collect_records=False,
+                max_rounds=4 * k + 64,
+            )
+            rows.append(DispersionOutcome.from_result(result, faults=f))
+        results[f] = rows
+    return results
+
+
+def summarize(outcomes: List[DispersionOutcome]) -> Dict[str, float]:
+    """Mean/min/max rounds and mean moves over a list of outcomes."""
+    rounds = [o.rounds for o in outcomes]
+    moves = [o.total_moves for o in outcomes]
+    return {
+        "mean_rounds": sum(rounds) / len(rounds),
+        "min_rounds": float(min(rounds)),
+        "max_rounds": float(max(rounds)),
+        "mean_moves": sum(moves) / len(moves),
+        "all_dispersed": float(all(o.dispersed for o in outcomes)),
+    }

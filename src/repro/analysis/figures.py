@@ -1,0 +1,109 @@
+"""Reconstruction of the paper's worked example (Figures 3 and 4).
+
+The paper illustrates the construction pipeline on a 15-node, 17-edge
+round graph ``G_r`` carrying 14 robots that split into two connected
+components -- the red component computed by robots 2, 4, 6, 8-11 and the
+green one computed by the rest -- each spanning tree rooted at its
+smallest-ID multiplicity node.  The figure's exact edge list and port
+numbers are not machine-readable from the paper, so
+:func:`build_fig3_instance` rebuilds an instance with exactly the stated
+parameters and the figure-relevant structure:
+
+* 15 nodes, 17 edges, 14 robots;
+* two occupied connected components of six nodes each, >= 2 hops apart;
+* robots 2, 4, 6, 8, 9, 10, 11 on one component, the others on the other;
+* one multiplicity node per component, the smallest-ID one becoming the
+  spanning tree root (robot 1's node and robot 2's node respectively);
+* three empty nodes, placed so each component has frontier nodes with
+  empty neighbors (so Figure 4's disjoint paths and sliding are
+  non-trivial).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.graph.snapshot import GraphSnapshot
+
+
+@dataclass(frozen=True)
+class Fig3Instance:
+    """The reconstructed Figure 3/4 instance."""
+
+    snapshot: GraphSnapshot
+    positions: Dict[int, int]
+    expected_components: Tuple[Tuple[int, ...], Tuple[int, ...]]
+    """The two components as sorted tuples of representative IDs."""
+
+    expected_roots: Tuple[int, int]
+    """Representative IDs of the two spanning-tree roots."""
+
+    @property
+    def k(self) -> int:
+        return len(self.positions)
+
+    @property
+    def n(self) -> int:
+        return self.snapshot.n
+
+
+def build_fig3_instance() -> Fig3Instance:
+    """Build the 15-node / 17-edge / 14-robot example instance.
+
+    Layout (node indices are simulator ground truth, invisible to robots):
+
+    * Component "green": nodes 0-5 carrying robots
+      {0: [1, 12], 1: [3], 2: [5], 3: [7], 4: [13], 5: [14]} -- node 0 is
+      the multiplicity node, so the green root representative is robot 1.
+    * Component "red": nodes 6-11 carrying robots
+      {6: [2, 9], 7: [4], 8: [6], 9: [8], 10: [10], 11: [11]} -- node 6 is
+      the multiplicity node, root representative robot 2.
+    * Empty nodes: 12 (between the components, keeping them 2 hops apart),
+      13 and 14 (a small empty tail giving the green side extra frontier).
+    """
+    edges = [
+        # green component (6 edges)
+        (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 2),
+        # red component (6 edges)
+        (6, 7), (7, 8), (8, 9), (9, 10), (10, 11), (6, 8),
+        # empty connector node 12 between the two components (2 edges)
+        (5, 12), (12, 6),
+        # empty tail 13 - 14 attached to the green side (3 edges)
+        (12, 13), (13, 14), (4, 13),
+    ]
+    snapshot = GraphSnapshot.from_edges(15, edges)
+    assert snapshot.num_edges == 17
+
+    positions = {
+        1: 0, 12: 0,        # green multiplicity node
+        3: 1, 5: 2, 7: 3, 13: 4, 14: 5,
+        2: 6, 9: 6,         # red multiplicity node
+        4: 7, 6: 8, 8: 9, 10: 10, 11: 11,
+    }
+    green = (1, 3, 5, 7, 13, 14)
+    red = (2, 4, 6, 8, 10, 11)
+    return Fig3Instance(
+        snapshot=snapshot,
+        positions=positions,
+        expected_components=(green, red),
+        expected_roots=(1, 2),
+    )
+
+
+def fig3_component_summary(instance: Fig3Instance) -> List[str]:
+    """Human-readable lines describing the instance (for examples/benches)."""
+    lines = [
+        f"n={instance.n} nodes, m={instance.snapshot.num_edges} edges, "
+        f"k={instance.k} robots",
+    ]
+    for label, reps, root in zip(
+        ("green", "red"),
+        instance.expected_components,
+        instance.expected_roots,
+    ):
+        lines.append(
+            f"component {label}: representatives {list(reps)}, "
+            f"spanning-tree root {root}"
+        )
+    return lines

@@ -1,0 +1,84 @@
+"""ASCII rendering of configurations and run traces (for the examples).
+
+Nothing here is used by the algorithms; it turns ground-truth snapshots,
+placements and :class:`~repro.sim.metrics.RunResult` traces into terminal
+output a human can follow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.graph.snapshot import GraphSnapshot
+from repro.sim.metrics import RunResult
+
+
+def render_configuration(
+    snapshot: GraphSnapshot,
+    positions: Mapping[int, int],
+    *,
+    node_labels: Optional[Mapping[int, str]] = None,
+) -> str:
+    """Adjacency-list view of one round: node, robots on it, neighbors."""
+    labels: Mapping[int, str] = node_labels or {}
+
+    def label_of(node: int) -> str:
+        return labels.get(node, f"node{node}")
+
+    robots_at: Dict[int, List[int]] = {}
+    for robot_id, node in positions.items():
+        robots_at.setdefault(node, []).append(robot_id)
+    lines = []
+    for node in snapshot.nodes():
+        robots = sorted(robots_at.get(node, []))
+        robot_text = (
+            "robots " + ",".join(str(r) for r in robots) if robots else "empty"
+        )
+        neighbor_text = ", ".join(
+            f"{port}->{label_of(snapshot.neighbor_via(node, port))}"
+            for port in snapshot.ports(node)
+        )
+        lines.append(
+            f"  {label_of(node):<10} [{robot_text:<16}] ports: {neighbor_text}"
+        )
+    return "\n".join(lines)
+
+
+def render_progress(result: RunResult) -> str:
+    """One line per round: occupied-set growth and movement volume."""
+    lines = [
+        f"run: {result.summary()}",
+        f"occupied trajectory: {result.occupied_trajectory()}",
+    ]
+    for record in result.records:
+        gained = sorted(record.newly_occupied)
+        crashed = sorted(
+            record.crashed_before_communicate + record.crashed_after_compute
+        )
+        parts = [
+            f"round {record.round_index:>3}:",
+            f"occupied {len(record.occupied_before):>3} ->"
+            f" {len(record.occupied_after):>3}",
+            f"moves {record.num_moves:>3}",
+            f"components {record.num_components}",
+        ]
+        if gained:
+            parts.append(f"newly occupied {gained}")
+        if crashed:
+            parts.append(f"crashed {crashed}")
+        lines.append("  " + "  ".join(parts))
+    return "\n".join(lines)
+
+
+def occupancy_bar(result: RunResult, width: int = 50) -> str:
+    """A coarse 'progress bar over rounds' visualization."""
+    trajectory = result.occupied_trajectory()
+    k = result.k
+    lines = []
+    for round_index, occupied in enumerate(trajectory):
+        filled = int(width * occupied / max(1, k))
+        lines.append(
+            f"  r{round_index:>3} |{'#' * filled}{'.' * (width - filled)}| "
+            f"{occupied}/{k}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Plain-text table rendering for benchmark reports.
+
+Benchmarks print the rows/series that correspond to the paper's table and
+figures; this module keeps that output aligned and consistent without any
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table.
+
+    Numeric cells are right-aligned, text cells left-aligned; floats are
+    shown with two decimals and booleans as yes/no.
+    """
+    original_rows = [list(row) for row in rows]
+    rendered_rows = [[_render(cell) for cell in row] for row in original_rows]
+
+    widths = [len(h) for h in headers]
+    for rendered in rendered_rows:
+        if len(rendered) != len(headers):
+            raise ValueError(
+                f"row has {len(rendered)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(rendered):
+            widths[i] = max(widths[i], len(cell))
+
+    def align(text: str, width: int, original: object) -> str:
+        is_numeric = isinstance(original, (int, float)) and not isinstance(
+            original, bool
+        )
+        return text.rjust(width) if is_numeric else text.ljust(width)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for original, rendered in zip(original_rows, rendered_rows):
+        lines.append(
+            "  ".join(
+                align(text, width, cell)
+                for text, width, cell in zip(rendered, widths, original)
+            ).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_latex_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    caption: str = "",
+    label: str = "",
+) -> str:
+    """Render the same data as a LaTeX ``tabular`` (booktabs-free).
+
+    Useful when lifting measured tables into a paper-style writeup; the
+    escaping covers the characters that occur in this library's reports.
+    """
+
+    def escape(text: str) -> str:
+        for char, replacement in (
+            ("&", r"\&"), ("%", r"\%"), ("_", r"\_"), ("#", r"\#"),
+        ):
+            text = text.replace(char, replacement)
+        return text
+
+    original_rows = [list(row) for row in rows]
+    for row in original_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    column_spec = "l" * len(headers)
+    lines = [r"\begin{table}[t]", r"  \centering"]
+    if caption:
+        lines.append(rf"  \caption{{{escape(caption)}}}")
+    if label:
+        lines.append(rf"  \label{{{label}}}")
+    lines.append(rf"  \begin{{tabular}}{{{column_spec}}}")
+    lines.append(r"    \hline")
+    lines.append(
+        "    " + " & ".join(escape(h) for h in headers) + r" \\"
+    )
+    lines.append(r"    \hline")
+    for row in original_rows:
+        lines.append(
+            "    "
+            + " & ".join(escape(_render(cell)) for cell in row)
+            + r" \\"
+        )
+    lines.append(r"    \hline")
+    lines.append(r"  \end{tabular}")
+    lines.append(r"\end{table}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Baseline and candidate algorithms.
+
+Two roles:
+
+* **Literature baselines** for the contrast experiments: a DFS-based
+  dispersion algorithm in the style of the static-graph prior work
+  (Augustine & Moses Jr. 2018; Kshemkalyani & Ali 2019) and a randomized
+  walk-based dispersion.  They disperse on static graphs but degrade or
+  fail under adversarial dynamism, which is exactly the gap the paper's
+  algorithm closes.
+* **Candidate algorithm families** for the impossibility demonstrations:
+  plausible deterministic local-model algorithms (Theorem 1) and
+  global-model algorithms without 1-neighborhood knowledge (Theorem 2),
+  which the adversaries of :mod:`repro.adversary` stall indefinitely.
+"""
+
+from repro.baselines.dfs_local import DfsDispersionLocal
+from repro.baselines.random_walk import RandomWalkDispersion
+from repro.baselines.randomized_anonymous import RandomizedAnonymousDispersion
+from repro.baselines.ring_walk import RingWalkDispersion
+from repro.baselines.local_candidates import (
+    LOCAL_CANDIDATES,
+    LocalChainShift,
+    LocalSmallestEmptyPort,
+    LocalPseudoRandomPort,
+)
+from repro.baselines.global_candidates import (
+    GLOBAL_NO1NK_CANDIDATES,
+    BlindIdSpread,
+    BlindRankSpread,
+    BlindRotor,
+)
+
+__all__ = [
+    "DfsDispersionLocal",
+    "RandomWalkDispersion",
+    "RandomizedAnonymousDispersion",
+    "RingWalkDispersion",
+    "LOCAL_CANDIDATES",
+    "LocalChainShift",
+    "LocalSmallestEmptyPort",
+    "LocalPseudoRandomPort",
+    "GLOBAL_NO1NK_CANDIDATES",
+    "BlindIdSpread",
+    "BlindRankSpread",
+    "BlindRotor",
+]

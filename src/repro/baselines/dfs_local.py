@@ -1,0 +1,159 @@
+"""DFS-based dispersion in the local model (static-graph baseline).
+
+This is the style of algorithm the prior static-graph work builds on
+(Augustine & Moses Jr., ICDCN 2018; Kshemkalyani & Ali, ICDCN 2019): robots
+travel as groups performing a depth-first search; at every unsettled node
+the smallest-ID unsettled robot *settles* and thereafter acts as the node's
+memory (nodes themselves are memoryless), storing the DFS parent port and a
+rotor over the remaining ports.  The travelling group asks the settled
+robot (local communication -- they are co-located) for the next port to
+explore, backtracking through the parent port when the rotor is exhausted.
+
+Per-robot persistent memory: the settled flag, the parent port, and the
+rotor position -- O(log Delta) bits on top of the ID, matching the
+literature's local-model costs.
+
+On a *static* graph this disperses any ``k <= n`` robots (groups that meet
+merge under the smallest ID present).  On a *dynamic* graph it breaks down,
+because port numbers and edges carry no meaning across rounds -- the stored
+parent port of a settled robot may point anywhere tomorrow.  That failure
+is the paper's motivation and our contrast benchmark: the same workload
+that DFS handles statically defeats it under churn, while
+``Dispersion_Dynamic`` still finishes in O(k) rounds (using the stronger
+global + 1-NK model, which the impossibility results show is necessary).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.sim.algorithm import (
+    Decision,
+    MoveDecision,
+    RobotAlgorithm,
+    STAY,
+)
+from repro.sim.observation import CommunicationModel, Observation
+
+
+class DfsDispersionLocal(RobotAlgorithm):
+    """Group DFS dispersion for static graphs, local communication model."""
+
+    name = "dfs_dispersion_local"
+    requires_communication = CommunicationModel.LOCAL
+    requires_neighborhood_knowledge = False
+
+    def __init__(self) -> None:
+        # Per-robot persistent state (audited by the engine):
+        self._settled: Dict[int, bool] = {}
+        self._parent_port: Dict[int, Optional[int]] = {}
+        self._rotor: Dict[int, int] = {}
+        # Within-round coordination: the settled robot of a node announces
+        # the port the group should take; co-located robots read it (local
+        # communication makes this free).  Cleared every round.
+        self._announced_port: Dict[int, int] = {}
+        self._k = 0
+        self._max_degree_seen = 1
+
+    def on_run_start(self, k: int, n: int) -> None:
+        self._k = k
+        for robot_id in range(1, k + 1):
+            self._settled[robot_id] = False
+            self._parent_port[robot_id] = None
+            self._rotor[robot_id] = 0
+
+    def on_round_start(self, round_index: int) -> None:
+        self._announced_port.clear()
+
+    # ------------------------------------------------------------------
+
+    def decide(self, observation: Observation) -> Decision:
+        robot_id = observation.robot_id
+        packet = observation.own_packet
+        here = packet.robot_ids
+        self._max_degree_seen = max(self._max_degree_seen, packet.degree)
+
+        if self._settled[robot_id]:
+            return STAY
+
+        settled_here = [r for r in here if self._settled[r]]
+        unsettled_here = [r for r in here if not self._settled[r]]
+
+        if not settled_here:
+            # Unsettled node: the smallest unsettled robot settles and
+            # becomes the node's memory; its parent port is the port the
+            # group entered through (None at the starting node).
+            if robot_id == unsettled_here[0]:
+                self._settled[robot_id] = True
+                self._parent_port[robot_id] = observation.entry_port
+                self._rotor[robot_id] = 0
+                # Announce the group's next port on behalf of this node.
+                port = self._advance_rotor(robot_id, packet.degree)
+                self._announced_port[robot_id] = port
+                return STAY
+            leader = unsettled_here[0]
+            port = self._announced_for(leader, packet.degree)
+            return MoveDecision(port) if port is not None else STAY
+
+        # Node already has a settled robot: it (the smallest settled one)
+        # tells the group where to go next.
+        memory_robot = settled_here[0]
+        port = self._announced_for(memory_robot, packet.degree)
+        return MoveDecision(port) if port is not None else STAY
+
+    # ------------------------------------------------------------------
+
+    def _announced_for(self, memory_robot: int, degree: int) -> Optional[int]:
+        """The port the node's memory robot directs the group through.
+
+        Computed once per node per round (first asker triggers it); all
+        co-located robots then read the same announcement.
+        """
+        if memory_robot not in self._announced_port:
+            port = self._advance_rotor(memory_robot, degree)
+            self._announced_port[memory_robot] = port
+        port = self._announced_port[memory_robot]
+        return port if port and port <= degree else None
+
+    def _advance_rotor(self, memory_robot: int, degree: int) -> int:
+        """Next unexplored port of the node; parent port when exhausted.
+
+        The rotor walks ports ``1..degree`` skipping the parent port; when
+        every other port has been handed out, the group is sent back
+        through the parent (DFS backtrack).  At the DFS root (no parent)
+        the rotor wraps around, re-exploring -- on a static graph this only
+        happens after the whole component is explored, i.e. after
+        dispersion already completed for ``k <= n``.
+        """
+        parent = self._parent_port[memory_robot]
+        while self._rotor[memory_robot] < degree:
+            self._rotor[memory_robot] += 1
+            candidate = self._rotor[memory_robot]
+            if candidate != parent:
+                return candidate
+        if parent is not None:
+            return parent
+        self._rotor[memory_robot] = 0  # root wrap-around
+        return 1 if degree >= 1 else 0
+
+    # ------------------------------------------------------------------
+    # Memory audit
+    # ------------------------------------------------------------------
+
+    def persistent_state(self, robot_id: int) -> Dict[str, Any]:
+        return {
+            "id": robot_id,
+            "settled": self._settled.get(robot_id, False),
+            "parent_port": self._parent_port.get(robot_id),
+            "rotor": self._rotor.get(robot_id, 0),
+        }
+
+    def persistent_state_bounds(self, k: int, n: int) -> Mapping[str, int]:
+        # Ports are bounded by the maximum degree, itself at most n - 1.
+        return {"id": k, "parent_port": n, "rotor": n}
+
+    def detects_termination(self, observation: Observation) -> bool:
+        # Local communication: a robot only sees its own node; it cannot
+        # detect global dispersion.  (The engine's ground-truth stop ends
+        # the run; results flag that robots did not self-detect.)
+        return False

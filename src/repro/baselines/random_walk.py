@@ -1,0 +1,97 @@
+"""Randomized walk-based dispersion (in the spirit of Molla & Moses Jr. 2019).
+
+The simplest memory-light dispersion strategy: at any node, the smallest-ID
+robot present settles (if no robot has settled there before); every other
+robot keeps walking through a pseudo-random port each round.  Randomness is
+derandomized into a hash of ``(seed, robot id, round)`` so runs are
+reproducible and the algorithm stays formally deterministic for the
+engine's purposes, while behaving statistically like a lazy random walk.
+
+Unlike the DFS baseline this survives dynamic graphs -- a random walk needs
+no cross-round port meaning -- but its completion time on adversarial or
+even benign dynamic graphs is far worse than the paper algorithm's O(k)
+(and on the Theorem 3 star-star adversary it still cannot beat one new node
+per round, while wasting many more moves).  It serves as the "what you can
+do without the paper's machinery" baseline.
+
+Persistent state per robot: ID + settled bit = O(log k) bits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Mapping
+
+from repro.sim.algorithm import (
+    Decision,
+    MoveDecision,
+    RobotAlgorithm,
+    STAY,
+)
+from repro.sim.observation import CommunicationModel, Observation
+
+
+def _pseudo_random_port(seed: int, robot_id: int, round_index: int, degree: int) -> int:
+    """Deterministic 'random' port in ``1..degree``."""
+    digest = hashlib.sha256(
+        f"{seed}:{robot_id}:{round_index}".encode()
+    ).digest()
+    return 1 + int.from_bytes(digest[:8], "big") % degree
+
+
+class RandomWalkDispersion(RobotAlgorithm):
+    """Settle-the-smallest, walk-the-rest dispersion."""
+
+    name = "random_walk_dispersion"
+    requires_communication = CommunicationModel.LOCAL
+    requires_neighborhood_knowledge = False
+
+    def __init__(self, *, seed: int = 0, lazy: bool = False) -> None:
+        self._seed = seed
+        self._lazy = lazy
+        self._settled: Dict[int, bool] = {}
+
+    def on_run_start(self, k: int, n: int) -> None:
+        for robot_id in range(1, k + 1):
+            self._settled[robot_id] = False
+
+    def decide(self, observation: Observation) -> Decision:
+        robot_id = observation.robot_id
+        packet = observation.own_packet
+        here = packet.robot_ids
+
+        if self._settled[robot_id]:
+            return STAY
+
+        settled_here = [r for r in here if self._settled[r]]
+        unsettled_here = [r for r in here if not self._settled[r]]
+
+        if not settled_here and robot_id == unsettled_here[0]:
+            # Claim this node: smallest unsettled robot settles, provided
+            # nobody settled here already (co-located robots exchange their
+            # settled bits -- local communication).
+            self._settled[robot_id] = True
+            return STAY
+
+        if packet.degree == 0:
+            return STAY
+        if self._lazy:
+            # A lazy walk flips a derandomized coin to move at all.
+            gate = _pseudo_random_port(
+                self._seed + 1_000_003, robot_id, observation.round_index, 2
+            )
+            if gate == 1:
+                return STAY
+        port = _pseudo_random_port(
+            self._seed, robot_id, observation.round_index, packet.degree
+        )
+        return MoveDecision(port)
+
+    def persistent_state(self, robot_id: int) -> Dict[str, Any]:
+        return {"id": robot_id, "settled": self._settled.get(robot_id, False)}
+
+    def persistent_state_bounds(self, k: int, n: int) -> Mapping[str, int]:
+        return {"id": k}
+
+    def detects_termination(self, observation: Observation) -> bool:
+        return False

@@ -1,0 +1,115 @@
+"""Randomized dispersion with a single persistent bit (related work).
+
+The paper's related-work section cites Molla & Moses Jr. (TAMC 2019),
+"Dispersion of mobile robots: The power of randomness", where randomization
+buys memory below the deterministic Omega(log k) bound.  This module
+implements a representative algorithm in that spirit:
+
+* the only *persistent* state is the settled bit -- one bit per robot;
+* robots never persist (or compare) their IDs; within a round, co-located
+  unsettled robots hold a *lottery*: each draws a value, and a robot
+  settles iff its draw is the strict minimum among the co-located
+  unsettled robots and no settled robot is present (local communication
+  makes the draws exchangeable; a tie means nobody settles that round --
+  with real randomness ties have probability ~0, and re-draws happen next
+  round anyway);
+* unsettled robots otherwise walk through a random port.
+
+Randomness is derandomized into a hash of ``(seed, robot id, round)`` so
+runs are reproducible; the robot's ID serves purely as the entropy channel
+a physical robot would get from its own coin flips, and never influences
+decisions in any other way.
+
+Against the deterministic lower bound this is the trade the related work
+studies: Theta(log k) deterministic bits vs O(1) persistent bits plus
+random coins and only probabilistic round guarantees.  The test suite
+measures both: 1 persistent bit, and geometric-ish completion times that
+degrade gracefully with k.
+
+Note the Theorem 2 caveat: determinized randomness is still deterministic,
+so the clique-rewiring adversary (which may simulate the coin stream)
+stalls this algorithm too when 1-NK is absent -- randomization does not
+circumvent the paper's impossibility, only the memory bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Mapping
+
+from repro.sim.algorithm import (
+    Decision,
+    MoveDecision,
+    RobotAlgorithm,
+    STAY,
+)
+from repro.sim.observation import CommunicationModel, Observation
+
+
+def _draw(seed: int, robot_id: int, round_index: int, purpose: str) -> int:
+    """A 64-bit derandomized coin for one robot, round, and purpose."""
+    digest = hashlib.sha256(
+        f"{seed}:{purpose}:{robot_id}:{round_index}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomizedAnonymousDispersion(RobotAlgorithm):
+    """One-persistent-bit randomized dispersion (lottery + random walk)."""
+
+    name = "randomized_anonymous_dispersion"
+    requires_communication = CommunicationModel.LOCAL
+    requires_neighborhood_knowledge = False
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self._seed = seed
+        self._settled: Dict[int, bool] = {}
+
+    def on_run_start(self, k: int, n: int) -> None:
+        for robot_id in range(1, k + 1):
+            self._settled[robot_id] = False
+
+    def decide(self, observation: Observation) -> Decision:
+        robot_id = observation.robot_id
+        packet = observation.own_packet
+        here = packet.robot_ids
+
+        if self._settled[robot_id]:
+            return STAY
+
+        unsettled_here = [r for r in here if not self._settled[r]]
+        settled_here = [r for r in here if self._settled[r]]
+
+        if not settled_here:
+            # The lottery: strict minimum draw settles.  Draws are
+            # exchangeable among co-located robots (local communication).
+            draws = {
+                r: _draw(self._seed, r, observation.round_index, "lottery")
+                for r in unsettled_here
+            }
+            my_draw = draws[robot_id]
+            if all(
+                my_draw < other
+                for r, other in draws.items()
+                if r != robot_id
+            ):
+                self._settled[robot_id] = True
+                return STAY
+
+        if packet.degree == 0:
+            return STAY
+        port = 1 + _draw(
+            self._seed, robot_id, observation.round_index, "walk"
+        ) % packet.degree
+        return MoveDecision(port)
+
+    def persistent_state(self, robot_id: int) -> Dict[str, Any]:
+        # The whole point: one bit.  No ID is persisted -- the ID appears
+        # only as the simulator's entropy channel inside decide().
+        return {"settled": self._settled.get(robot_id, False)}
+
+    def persistent_state_bounds(self, k: int, n: int) -> Mapping[str, int]:
+        return {}
+
+    def detects_termination(self, observation: Observation) -> bool:
+        return False

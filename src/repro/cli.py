@@ -1,0 +1,334 @@
+"""Command-line interface: ``repro-dispersion`` / ``python -m repro``.
+
+Subcommands mirror the experiment suite:
+
+* ``run``         -- one dispersion run, printed round by round;
+* ``sweep``       -- rounds vs. k on random churn (Table I row 3 shape);
+* ``faults``      -- rounds vs. f crash faults (Table I row 4 shape);
+* ``lower-bound`` -- the Theorem 3 star-star adversary (Figure 2 shape);
+* ``figure3``     -- the reconstructed Figure 3/4 worked example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.adversary.star_lower_bound import StarStarAdversary
+from repro.analysis.experiments import (
+    churn_dynamics,
+    run_dispersion,
+    summarize,
+    sweep_faults,
+    sweep_rounds_vs_k,
+)
+from repro.analysis.figures import build_fig3_instance, fig3_component_summary
+from repro.analysis.tables import format_table
+from repro.core.dispersion import DispersionDynamic
+from repro.graph.dynamic import RandomChurnDynamicGraph
+from repro.robots.robot import RobotSet
+from repro.sim.engine import SimulationEngine
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    dyn = RandomChurnDynamicGraph(
+        args.n, extra_edges=args.extra_edges, seed=args.seed
+    )
+    if args.rooted:
+        robots = RobotSet.rooted(args.k, args.n)
+    else:
+        robots = RobotSet.arbitrary(args.k, args.n, random.Random(args.seed))
+
+    def narrate(record):
+        print(
+            f"round {record.round_index:>3}: occupied "
+            f"{len(record.occupied_before):>3} -> "
+            f"{len(record.occupied_after):>3}, moves {record.num_moves}"
+        )
+
+    result = SimulationEngine(
+        dyn,
+        robots,
+        DispersionDynamic(),
+        round_observers=[narrate] if args.live else None,
+    ).run()
+    print(result.summary())
+    if args.trace:
+        rows = [
+            (
+                record.round_index,
+                len(record.occupied_before),
+                len(record.occupied_after),
+                record.num_moves,
+                record.num_components,
+            )
+            for record in result.records
+        ]
+        print(
+            format_table(
+                ("round", "occ_before", "occ_after", "moves", "components"),
+                rows,
+            )
+        )
+    return 0 if result.dispersed else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    k_values = args.k_values or [8, 16, 32, 64, 128]
+    data = sweep_rounds_vs_k(
+        k_values,
+        dynamics=churn_dynamics(args.extra_edges_per_node),
+        rooted=args.rooted,
+        seeds=range(args.seeds),
+    )
+    rows = []
+    for k in k_values:
+        stats = summarize(data[k])
+        rows.append(
+            (
+                k,
+                2 * k,
+                stats["mean_rounds"],
+                int(stats["min_rounds"]),
+                int(stats["max_rounds"]),
+                stats["mean_moves"],
+            )
+        )
+    print(
+        format_table(
+            ("k", "n", "mean_rounds", "min", "max", "mean_moves"),
+            rows,
+            title="rounds to dispersion vs k (random churn, Theorem 4 shape)",
+        )
+    )
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    k = args.k
+    f_values = args.f_values or [0, k // 8, k // 4, k // 2, (3 * k) // 4]
+    data = sweep_faults(k, f_values, seeds=range(args.seeds))
+    rows = []
+    for f in f_values:
+        stats = summarize(data[f])
+        rows.append((f, k - f, stats["mean_rounds"], stats["mean_moves"]))
+    print(
+        format_table(
+            ("f", "k-f", "mean_rounds", "mean_moves"),
+            rows,
+            title=f"rounds vs crash faults, k={k} (Theorem 5 shape)",
+        )
+    )
+    return 0
+
+
+def _cmd_lower_bound(args: argparse.Namespace) -> int:
+    rows = []
+    for k in args.k_values or [8, 16, 32, 64]:
+        n = k + args.slack_nodes
+        adversary = StarStarAdversary(n, [0], seed=args.seed)
+        result = run_dispersion(adversary, RobotSet.rooted(k, n))
+        rows.append((k, n, result.rounds, k - 1, result.rounds == k - 1))
+    print(
+        format_table(
+            ("k", "n", "rounds", "k-1", "tight"),
+            rows,
+            title="Theorem 3 star-star adversary: rounds equal k-1 exactly",
+        )
+    )
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    instance = build_fig3_instance()
+    for line in fig3_component_summary(instance):
+        print(line)
+    from repro.core.components import partition_into_components
+    from repro.core.spanning_tree import build_spanning_tree
+    from repro.core.disjoint_paths import compute_disjoint_paths
+    from repro.sim.observation import build_info_packets
+
+    packets = build_info_packets(instance.snapshot, instance.positions)
+    for component in partition_into_components(packets.values()):
+        tree = build_spanning_tree(component)
+        assert tree is not None
+        paths = compute_disjoint_paths(tree, component)
+        print(
+            f"component root {tree.root}: tree edges {tree.edges()}, "
+            f"disjoint paths {[list(p.nodes) for p in paths]}"
+        )
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.analysis.campaign import run_campaign
+
+    report = run_campaign(args.scale)
+    print(report.render())
+    return 0 if report.all_passed else 1
+
+
+def _cmd_export_dot(args: argparse.Namespace) -> int:
+    from repro.analysis.dot import configuration_to_dot, figure3_dot
+
+    if args.what == "figure3":
+        text = figure3_dot()
+    else:
+        dyn = RandomChurnDynamicGraph(
+            args.n, extra_edges=args.n // 2, seed=args.seed
+        )
+        robots = RobotSet.rooted(args.k, args.n)
+        text = configuration_to_dot(dyn.snapshot(0), robots.positions)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_ring(args: argparse.Namespace) -> int:
+    from repro.baselines.ring_walk import RingWalkDispersion
+    from repro.graph.rings import RingDynamicGraph
+    from repro.sim.observation import CommunicationModel
+
+    walker = RingWalkDispersion()
+    blocked = SimulationEngine(
+        RingDynamicGraph(
+            args.n, mode="blocking", seed=args.seed, algorithm=walker
+        ),
+        RobotSet.rooted(args.k, args.n),
+        walker,
+        communication=CommunicationModel.LOCAL,
+        max_rounds=args.budget,
+    ).run()
+    paper_algorithm = DispersionDynamic()
+    paper = SimulationEngine(
+        RingDynamicGraph(
+            args.n,
+            mode="blocking",
+            seed=args.seed,
+            algorithm=paper_algorithm,
+            communication=CommunicationModel.GLOBAL,
+        ),
+        RobotSet.rooted(args.k, args.n),
+        paper_algorithm,
+    ).run()
+    print(
+        format_table(
+            ("algorithm", "dispersed", "rounds"),
+            [
+                ("ring walker (local)", blocked.dispersed, blocked.rounds),
+                ("paper (global+1NK)", paper.dispersed, paper.rounds),
+            ],
+            title=f"blocking dynamic ring, k={args.k}, n={args.n}",
+        )
+    )
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.analysis.paper_table import table1
+
+    text, all_ok = table1()
+    print(text)
+    return 0 if all_ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dispersion",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="one dispersion run")
+    p_run.add_argument("--n", type=int, default=40)
+    p_run.add_argument("--k", type=int, default=30)
+    p_run.add_argument("--extra-edges", type=int, default=20)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--rooted", action="store_true")
+    p_run.add_argument("--trace", action="store_true")
+    p_run.add_argument(
+        "--live", action="store_true",
+        help="print per-round progress as the run executes",
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="rounds vs k")
+    p_sweep.add_argument("--k-values", type=int, nargs="*", default=None)
+    p_sweep.add_argument("--seeds", type=int, default=3)
+    p_sweep.add_argument("--extra-edges-per-node", type=float, default=0.5)
+    p_sweep.add_argument("--rooted", action="store_true", default=True)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_faults = sub.add_parser("faults", help="rounds vs crash faults")
+    p_faults.add_argument("--k", type=int, default=64)
+    p_faults.add_argument("--f-values", type=int, nargs="*", default=None)
+    p_faults.add_argument("--seeds", type=int, default=3)
+    p_faults.set_defaults(func=_cmd_faults)
+
+    p_lb = sub.add_parser("lower-bound", help="Theorem 3 adversary")
+    p_lb.add_argument("--k-values", type=int, nargs="*", default=None)
+    p_lb.add_argument("--slack-nodes", type=int, default=5)
+    p_lb.add_argument("--seed", type=int, default=0)
+    p_lb.set_defaults(func=_cmd_lower_bound)
+
+    p_fig3 = sub.add_parser("figure3", help="Figure 3/4 worked example")
+    p_fig3.set_defaults(func=_cmd_figure3)
+
+    p_campaign = sub.add_parser(
+        "campaign", help="run the full reproduction campaign"
+    )
+    p_campaign.add_argument(
+        "--scale", choices=("quick", "full"), default="quick"
+    )
+    p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_dot = sub.add_parser("export-dot", help="export Graphviz DOT pictures")
+    p_dot.add_argument(
+        "what", choices=("figure3", "random"), help="which picture"
+    )
+    p_dot.add_argument("--n", type=int, default=16)
+    p_dot.add_argument("--k", type=int, default=10)
+    p_dot.add_argument("--seed", type=int, default=0)
+    p_dot.add_argument("--output", default=None)
+    p_dot.set_defaults(func=_cmd_export_dot)
+
+    p_table1 = sub.add_parser(
+        "table1", help="the paper's Table I with measured verdicts"
+    )
+    p_table1.set_defaults(func=_cmd_table1)
+
+    p_ring = sub.add_parser("ring", help="dynamic-ring blocking demo")
+    p_ring.add_argument("--n", type=int, default=14)
+    p_ring.add_argument("--k", type=int, default=9)
+    p_ring.add_argument("--seed", type=int, default=0)
+    p_ring.add_argument("--budget", type=int, default=300)
+    p_ring.set_defaults(func=_cmd_ring)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`); exit quietly.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The paper's contribution: Algorithms 1-4 for DISPERSION on dynamic graphs.
+
+* :mod:`repro.core.components` -- Algorithm 1, ``ConnectedComponent``:
+  every robot assembles the connected component of occupied nodes it
+  belongs to from the round's information packets.
+* :mod:`repro.core.spanning_tree` -- Algorithm 2,
+  ``ComponentSpanningTree``: a deterministic DFS spanning tree rooted at
+  the smallest-ID multiplicity node.
+* :mod:`repro.core.disjoint_paths` -- Algorithm 3, ``DisjointPaths``:
+  a greedy maximal set of node/edge-disjoint root-to-leaf paths.
+* :mod:`repro.core.sliding` -- the sliding rule: which robot moves where
+  along each selected path.
+* :mod:`repro.core.dispersion` -- Algorithm 4, ``Dispersion_Dynamic``: the
+  O(k)-round, Theta(log k)-bit algorithm (fault-free and crash-tolerant).
+
+All of these are *pure* functions of the packet set, mirroring the paper's
+structure: everything is recomputed from scratch each round inside
+temporary memory, so the only persistent robot state is its ID.
+"""
+
+from repro.core.components import (
+    ComponentGraph,
+    ComponentNodeInfo,
+    build_component,
+    partition_into_components,
+)
+from repro.core.spanning_tree import (
+    SpanningTree,
+    build_spanning_tree,
+    build_spanning_tree_bfs,
+)
+from repro.core.disjoint_paths import RootPath, compute_disjoint_paths
+from repro.core.sliding import compute_sliding_moves
+from repro.core.dispersion import DispersionDynamic
+
+__all__ = [
+    "ComponentGraph",
+    "ComponentNodeInfo",
+    "build_component",
+    "partition_into_components",
+    "SpanningTree",
+    "build_spanning_tree",
+    "build_spanning_tree_bfs",
+    "RootPath",
+    "compute_disjoint_paths",
+    "compute_sliding_moves",
+    "DispersionDynamic",
+]

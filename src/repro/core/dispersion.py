@@ -1,0 +1,133 @@
+"""Algorithm 4 -- ``Dispersion_Dynamic``: the O(k)-round dispersion algorithm.
+
+Every round, every robot:
+
+1. broadcasts its node's information packet and receives all others
+   (global communication; packets built by the engine's Communicate phase);
+2. reconstructs its connected component (Algorithm 1), the component's
+   spanning tree rooted at the smallest-ID multiplicity node (Algorithm 2),
+   and the disjoint root-path set (Algorithm 3);
+3. truncates the path set to ``count(v_root) - 1`` paths (increasing
+   leaf-ID order) so the root is never vacated;
+4. applies the sliding rule: if the robot is the designated mover of a path
+   hop it exits through the corresponding port, otherwise it stays.
+
+All of this happens in temporary memory; the only state persisted across
+rounds is the robot's ID, so the memory bound is Theta(log k) bits
+(Lemma 8).  Termination is detected locally: with global communication the
+absence of any multiplicity packet is visible to everyone.
+
+Two execution modes:
+
+* ``faithful=False`` (default): since every robot of a round receives the
+  identical packet set and the computation is deterministic (Lemmas 1, 2
+  and 4), the algorithm computes the full round's move map once and lets
+  each robot look its own move up.  Semantically identical, linearly
+  faster.
+* ``faithful=True``: every robot independently recomputes its component's
+  structures from its own observation, exactly as the paper states it.
+  The test suite runs both modes and asserts they produce identical runs.
+
+The same object handles the crash-fault setting of Section VII: crashes
+only change *which* packets exist (the engine drops crashed robots), and
+the construction is already a pure function of the received packets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.components import (
+    ComponentGraph,
+    build_component,
+    partition_into_components,
+)
+from repro.core.disjoint_paths import compute_disjoint_paths
+from repro.core.sliding import compute_sliding_moves, truncate_paths
+from repro.core.spanning_tree import build_spanning_tree
+from repro.sim.algorithm import (
+    Decision,
+    MoveDecision,
+    RobotAlgorithm,
+    STAY,
+)
+from repro.sim.observation import CommunicationModel, InfoPacket, Observation
+
+
+def component_moves(component: ComponentGraph) -> Dict[int, int]:
+    """The ``{robot_id: exit_port}`` map of one component for one round.
+
+    Empty when the component has no multiplicity node (nothing to do).
+    This is the complete per-round Compute phase of Algorithm 4 for the
+    robots of the component.
+    """
+    tree = build_spanning_tree(component)
+    if tree is None:
+        return {}
+    paths = compute_disjoint_paths(tree, component)
+    root_count = component.node(tree.root).robot_count
+    paths = truncate_paths(paths, root_count)
+    return compute_sliding_moves(component, tree, paths)
+
+
+class DispersionDynamic(RobotAlgorithm):
+    """The paper's main algorithm as an engine-runnable robot program."""
+
+    name = "dispersion_dynamic"
+    requires_communication = CommunicationModel.GLOBAL
+    requires_neighborhood_knowledge = True
+
+    def __init__(self, *, faithful: bool = False) -> None:
+        self._faithful = faithful
+        self._round_moves: Optional[Dict[int, int]] = None
+        self._round_index: Optional[int] = None
+
+    def component_moves(self, component: ComponentGraph) -> Dict[int, int]:
+        """Per-component Compute phase; overridable by ablation variants
+        (see :mod:`repro.analysis.ablation`)."""
+        return component_moves(component)
+
+    def on_round_start(self, round_index: int) -> None:
+        # Temporary (within-round) memory: cleared every round, never
+        # counted against the robots (the paper's model makes in-round
+        # computation free).
+        self._round_moves = None
+        self._round_index = round_index
+
+    def decide(self, observation: Observation) -> Decision:
+        if not observation.sees_multiplicity:
+            return STAY  # dispersion configuration reached
+
+        if self._faithful:
+            moves = self._moves_for_own_component(observation)
+        else:
+            moves = self._moves_for_round(observation.packets)
+
+        port = moves.get(observation.robot_id)
+        return MoveDecision(port) if port is not None else STAY
+
+    # ------------------------------------------------------------------
+    # Faithful mode: per-robot recomputation (paper's literal statement)
+    # ------------------------------------------------------------------
+
+    def _moves_for_own_component(
+        self, observation: Observation
+    ) -> Dict[int, int]:
+        component = build_component(
+            observation.packets, observation.own_packet.representative_id
+        )
+        return self.component_moves(component)
+
+    # ------------------------------------------------------------------
+    # Fast mode: one computation per round (identical by Lemmas 1/2/4)
+    # ------------------------------------------------------------------
+
+    def _moves_for_round(
+        self, packets: Tuple[InfoPacket, ...]
+    ) -> Dict[int, int]:
+        if self._round_moves is None:
+            moves: Dict[int, int] = {}
+            for component in partition_into_components(packets):
+                moves.update(self.component_moves(component))
+            self._round_moves = moves
+        return self._round_moves

@@ -1,0 +1,115 @@
+"""The sliding rule: turning selected root paths into robot moves.
+
+Given a component, its spanning tree, and the selected (truncated) disjoint
+paths, sliding moves exactly one robot along every hop of every path:
+
+* one robot leaves the root towards the path's second node (or, for the
+  trivial single-node path, straight through the root's smallest empty
+  port);
+* at every interior path node one robot moves to the next path node;
+* the robot at the leaf steps onto the leaf's smallest-port empty neighbor.
+
+The paper leaves the choice of *which* co-located robot moves unspecified
+(any deterministic rule works since all robots share the same global
+information); we fix it as follows and document it as part of the
+reproduction's protocol:
+
+* at the root, the robots are sorted ascending; the smallest stays (the
+  root must never be vacated -- Lemma 7), and the ``i``-th selected path is
+  assigned the ``(i+1)``-st smallest robot;
+* at any other path node the *largest*-ID robot moves, so the smallest ID
+  -- the node's representative -- stays put and node identities remain
+  stable within the round.
+
+Because paths are node-disjoint outside the root, every robot is asked to
+move at most once; the output is a conflict-free ``{robot_id: port}`` map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.components import ComponentGraph
+from repro.core.disjoint_paths import RootPath
+from repro.core.spanning_tree import SpanningTree
+
+
+class SlidingError(AssertionError):
+    """Sliding preconditions violated (a bug, not a legal model state)."""
+
+
+def truncate_paths(
+    paths: List[RootPath], root_count: int
+) -> List[RootPath]:
+    """Algorithm 4's cap: keep at most ``count(v_root) - 1`` paths.
+
+    ``paths`` must already be in increasing leaf-ID order (as produced by
+    Algorithm 3); the paper keeps the first ``count - 1`` in that order so
+    the root is never emptied.
+    """
+    if root_count < 1:
+        raise SlidingError("the root holds at least one robot by definition")
+    return paths[: max(0, root_count - 1)]
+
+
+def compute_sliding_moves(
+    component: ComponentGraph,
+    tree: SpanningTree,
+    paths: List[RootPath],
+) -> Dict[int, int]:
+    """The round's ``{robot_id: exit_port}`` map for one component.
+
+    ``paths`` is the truncated disjoint path set.  Robots absent from the
+    map stay put.
+    """
+    root_info = component.node(tree.root)
+    if len(paths) > root_info.robot_count - 1:
+        raise SlidingError(
+            f"{len(paths)} paths but only {root_info.robot_count} robots "
+            "at the root; truncate_paths() was skipped"
+        )
+
+    moves: Dict[int, int] = {}
+    root_robots = sorted(root_info.robot_ids)
+    # root_robots[0] stays forever; movers are assigned in ID order to
+    # paths in leaf-ID order.
+    for index, path in enumerate(paths):
+        root_mover = root_robots[index + 1]
+        if path.is_trivial:
+            port = root_info.smallest_empty_port
+            if port is None:
+                raise SlidingError(
+                    "trivial path selected but the root has no empty "
+                    "neighbor"
+                )
+            _record(moves, root_mover, port)
+            continue
+
+        _record(
+            moves,
+            root_mover,
+            component.port_between(path.nodes[0], path.nodes[1]),
+        )
+        for position in range(1, len(path.nodes)):
+            node = path.nodes[position]
+            info = component.node(node)
+            mover = max(info.robot_ids)
+            if position < len(path.nodes) - 1:
+                port = component.port_between(node, path.nodes[position + 1])
+            else:
+                port = info.smallest_empty_port
+                if port is None:
+                    raise SlidingError(
+                        f"leaf {node} selected but has no empty neighbor"
+                    )
+            _record(moves, mover, port)
+
+    return moves
+
+
+def _record(moves: Dict[int, int], robot_id: int, port: int) -> None:
+    if robot_id in moves:
+        raise SlidingError(
+            f"robot {robot_id} asked to move twice; paths are not disjoint"
+        )
+    moves[robot_id] = port

@@ -1,0 +1,375 @@
+"""Immutable port-labelled graph snapshots.
+
+A :class:`GraphSnapshot` is the graph ``G_r`` of a single round: an
+undirected simple graph on nodes ``0..n-1`` where each node labels its
+incident edges with distinct ports ``1..degree(v)``.  Node indices are
+*ground truth* used by the simulator and the adversary only; the robots
+never observe them (the graph is anonymous).  Ports, in contrast, are
+observable: a robot leaving node ``u`` through port ``p`` learns ``p`` and,
+on arrival at the other endpoint ``v``, learns the entry port (the port of
+``v`` on the same edge).  There is no correlation between the two port
+numbers of an edge, and no correlation between the ports of consecutive
+rounds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PortLabeledEdge:
+    """An undirected edge together with the port numbers at both endpoints.
+
+    ``u`` reaches ``v`` through port ``port_u`` and vice versa.  The edge is
+    stored with ``u < v`` so that it has a canonical form.
+    """
+
+    u: int
+    port_u: int
+    v: int
+    port_v: int
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ValueError(f"self-loop at node {self.u} is not allowed")
+
+    def endpoints(self) -> FrozenSet[int]:
+        """Return the unordered endpoint pair."""
+        return frozenset((self.u, self.v))
+
+    def other(self, node: int) -> int:
+        """Return the endpoint opposite to ``node``."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise ValueError(f"node {node} is not an endpoint of {self}")
+
+    def port_at(self, node: int) -> int:
+        """Return the port number of the edge at endpoint ``node``."""
+        if node == self.u:
+            return self.port_u
+        if node == self.v:
+            return self.port_v
+        raise ValueError(f"node {node} is not an endpoint of {self}")
+
+
+class GraphSnapshot:
+    """An immutable, connected-or-not, port-labelled simple graph.
+
+    Instances are normally built with :meth:`from_edges` (ports assigned
+    canonically or randomly) or :meth:`from_port_maps` (explicit ports).
+    All query methods are O(1) or O(degree).
+    """
+
+    __slots__ = ("_n", "_adj_by_port", "_port_by_neighbor", "_edge_list")
+
+    def __init__(
+        self,
+        n: int,
+        adj_by_port: Sequence[Dict[int, int]],
+        *,
+        _skip_checks: bool = False,
+    ) -> None:
+        """Build a snapshot from per-node ``{port: neighbor}`` maps.
+
+        Prefer the class-method constructors; this constructor validates the
+        port structure (bijective ports ``1..degree``, symmetric adjacency,
+        simple graph) unless ``_skip_checks`` is set by a trusted caller.
+        """
+        if n <= 0:
+            raise ValueError(f"graph must have at least one node, got n={n}")
+        if len(adj_by_port) != n:
+            raise ValueError(
+                f"expected {n} port maps, got {len(adj_by_port)}"
+            )
+        self._n = n
+        self._adj_by_port: Tuple[Dict[int, int], ...] = tuple(
+            dict(ports) for ports in adj_by_port
+        )
+        self._port_by_neighbor: Tuple[Dict[int, int], ...] = tuple(
+            {nbr: port for port, nbr in ports.items()}
+            for ports in self._adj_by_port
+        )
+        if not _skip_checks:
+            self._check_structure()
+        self._edge_list: Tuple[PortLabeledEdge, ...] = self._build_edge_list()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: Iterable[Tuple[int, int]],
+        *,
+        rng: Optional[random.Random] = None,
+    ) -> "GraphSnapshot":
+        """Build a snapshot from an edge list, assigning port numbers.
+
+        If ``rng`` is given the ports of every node are a random permutation
+        of ``1..degree(v)`` (an adversarial/arbitrary labelling); otherwise
+        ports are assigned in increasing neighbor-index order, which is
+        deterministic and convenient for tests.
+        """
+        neighbor_lists: List[List[int]] = [[] for _ in range(n)]
+        seen = set()
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop at node {u} is not allowed")
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u},{v}) out of range for n={n}")
+            key = (min(u, v), max(u, v))
+            if key in seen:
+                raise ValueError(f"duplicate edge ({u},{v})")
+            seen.add(key)
+            neighbor_lists[u].append(v)
+            neighbor_lists[v].append(u)
+
+        adj_by_port: List[Dict[int, int]] = []
+        for v in range(n):
+            nbrs = sorted(neighbor_lists[v])
+            if rng is not None:
+                rng.shuffle(nbrs)
+            adj_by_port.append({port: nbr for port, nbr in enumerate(nbrs, 1)})
+        return cls(n, adj_by_port, _skip_checks=True)
+
+    @classmethod
+    def from_port_maps(
+        cls, n: int, adj_by_port: Sequence[Dict[int, int]]
+    ) -> "GraphSnapshot":
+        """Build a snapshot from explicit ``{port: neighbor}`` maps."""
+        return cls(n, adj_by_port)
+
+    # ------------------------------------------------------------------
+    # Structure checks
+    # ------------------------------------------------------------------
+
+    def _check_structure(self) -> None:
+        for v, ports in enumerate(self._adj_by_port):
+            degree = len(ports)
+            if sorted(ports) != list(range(1, degree + 1)):
+                raise ValueError(
+                    f"node {v}: ports must be exactly 1..{degree}, "
+                    f"got {sorted(ports)}"
+                )
+            if len(set(ports.values())) != degree:
+                raise ValueError(f"node {v}: parallel edges are not allowed")
+            for nbr in ports.values():
+                if not (0 <= nbr < self._n):
+                    raise ValueError(f"node {v}: neighbor {nbr} out of range")
+                if nbr == v:
+                    raise ValueError(f"self-loop at node {v} is not allowed")
+                if v not in self._adj_by_port[nbr].values():
+                    raise ValueError(
+                        f"asymmetric adjacency: {v}->{nbr} has no reverse"
+                    )
+
+    def _build_edge_list(self) -> Tuple[PortLabeledEdge, ...]:
+        edges = []
+        for u in range(self._n):
+            for port_u, v in self._adj_by_port[u].items():
+                if u < v:
+                    port_v = self._port_by_neighbor[v][u]
+                    edges.append(PortLabeledEdge(u, port_u, v, port_v))
+        return tuple(edges)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``m_r``."""
+        return len(self._edge_list)
+
+    def nodes(self) -> range:
+        """Iterate over node indices."""
+        return range(self._n)
+
+    def edges(self) -> Tuple[PortLabeledEdge, ...]:
+        """All edges with their port labels, canonical ``u < v`` order."""
+        return self._edge_list
+
+    def degree(self, v: int) -> int:
+        """Degree of node ``v`` in this snapshot."""
+        return len(self._adj_by_port[v])
+
+    def max_degree(self) -> int:
+        """Maximum degree of the snapshot (Delta_r in the paper)."""
+        return max(len(ports) for ports in self._adj_by_port)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Neighbors of ``v`` in increasing port order."""
+        ports = self._adj_by_port[v]
+        return tuple(ports[p] for p in sorted(ports))
+
+    def ports(self, v: int) -> Tuple[int, ...]:
+        """The ports of ``v``: always ``(1, ..., degree(v))``."""
+        return tuple(range(1, len(self._adj_by_port[v]) + 1))
+
+    def neighbor_via(self, v: int, port: int) -> int:
+        """The node reached by leaving ``v`` through ``port``."""
+        try:
+            return self._adj_by_port[v][port]
+        except KeyError:
+            raise ValueError(
+                f"node {v} has no port {port} (degree {self.degree(v)})"
+            ) from None
+
+    def port_of(self, v: int, neighbor: int) -> int:
+        """The port of ``v`` on the edge towards ``neighbor``."""
+        try:
+            return self._port_by_neighbor[v][neighbor]
+        except KeyError:
+            raise ValueError(f"{neighbor} is not a neighbor of {v}") from None
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge of this snapshot."""
+        return v in self._port_by_neighbor[u]
+
+    def port_map(self, v: int) -> Dict[int, int]:
+        """A copy of the ``{port: neighbor}`` map of ``v``."""
+        return dict(self._adj_by_port[v])
+
+    # ------------------------------------------------------------------
+    # Whole-graph analysis (used by the simulator and tests, not robots)
+    # ------------------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """Whether the snapshot is connected (the 1-interval condition)."""
+        if self._n == 1:
+            return True
+        seen = [False] * self._n
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            v = stack.pop()
+            for nbr in self._adj_by_port[v].values():
+                if not seen[nbr]:
+                    seen[nbr] = True
+                    count += 1
+                    stack.append(nbr)
+        return count == self._n
+
+    def bfs_distances(self, source: int) -> List[int]:
+        """Distances from ``source``; unreachable nodes get ``-1``."""
+        dist = [-1] * self._n
+        dist[source] = 0
+        frontier = [source]
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for nbr in self._adj_by_port[v].values():
+                    if dist[nbr] < 0:
+                        dist[nbr] = dist[v] + 1
+                        nxt.append(nbr)
+            frontier = nxt
+        return dist
+
+    def diameter(self) -> int:
+        """Diameter ``D_r``; raises if the snapshot is disconnected."""
+        best = 0
+        for v in range(self._n):
+            dist = self.bfs_distances(v)
+            if min(dist) < 0:
+                raise ValueError("diameter undefined: graph is disconnected")
+            best = max(best, max(dist))
+        return best
+
+    def connected_node_components(self) -> List[FrozenSet[int]]:
+        """Connected components of the node set (ground-truth analysis)."""
+        seen = [False] * self._n
+        components = []
+        for start in range(self._n):
+            if seen[start]:
+                continue
+            seen[start] = True
+            stack = [start]
+            members = [start]
+            while stack:
+                v = stack.pop()
+                for nbr in self._adj_by_port[v].values():
+                    if not seen[nbr]:
+                        seen[nbr] = True
+                        members.append(nbr)
+                        stack.append(nbr)
+            components.append(frozenset(members))
+        return components
+
+    def induced_occupied_components(
+        self, occupied: Iterable[int]
+    ) -> List[FrozenSet[int]]:
+        """Ground-truth connected components of the occupied-node subgraph.
+
+        This is the component graph ``CG_r`` of Definition 2, computed from
+        the simulator's ground truth; used by tests to validate the robots'
+        own component construction (Algorithm 1).
+        """
+        occupied_set = set(occupied)
+        seen = set()
+        components = []
+        for start in occupied_set:
+            if start in seen:
+                continue
+            seen.add(start)
+            stack = [start]
+            members = [start]
+            while stack:
+                v = stack.pop()
+                for nbr in self._adj_by_port[v].values():
+                    if nbr in occupied_set and nbr not in seen:
+                        seen.add(nbr)
+                        members.append(nbr)
+                        stack.append(nbr)
+            components.append(frozenset(members))
+        return components
+
+    def to_networkx(self):
+        """Export to a :mod:`networkx` graph with port attributes."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self._n))
+        for edge in self._edge_list:
+            graph.add_edge(
+                edge.u, edge.v, ports={edge.u: edge.port_u, edge.v: edge.port_v}
+            )
+        return graph
+
+    def relabeled_ports(self, rng: random.Random) -> "GraphSnapshot":
+        """The same graph with freshly randomized port labels."""
+        return GraphSnapshot.from_edges(
+            self._n, [(e.u, e.v) for e in self._edge_list], rng=rng
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphSnapshot):
+            return NotImplemented
+        return self._n == other._n and self._adj_by_port == other._adj_by_port
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._n, tuple(frozenset(p.items()) for p in self._adj_by_port))
+        )
+
+    def __repr__(self) -> str:
+        return f"GraphSnapshot(n={self._n}, m={self.num_edges})"
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))

@@ -1,0 +1,203 @@
+"""Byzantine robots: forged packets and adversarial movement (§VIII).
+
+The paper's third future-work direction asks about *byzantine* faults.
+This module implements the fault model so the question becomes executable:
+a byzantine robot (i) moves arbitrarily (adversary-chosen ports) and
+(ii) when it is its node's *representative* -- the smallest ID present,
+hence the one that broadcasts the node's information packet -- it may
+**forge** that packet.  Forgery is constrained to what a malicious sender
+could actually fake: the contents of its own broadcast (its reported
+co-located IDs/count, degree, and occupied-neighbor claims), never other
+nodes' packets and never physics (its true position, the real edges).
+
+Three attack policies are provided, each targeting a different load-bearing
+assumption of Algorithm 4:
+
+* :class:`HideMultiplicity` -- under-report the node's robot count as 1.
+  If the adversary seats a byzantine robot as representative of the last
+  multiplicity node, every honest robot sees a dispersion configuration
+  and halts forever: **silent livelock**, the cleanest possible breakage.
+* :class:`FakeMultiplicity` -- over-report phantom co-located robots with
+  IDs beyond ``k``.  Honest robots keep "resolving" a multiplicity that
+  does not exist, wasting moves and, with the phantom as smallest-ID
+  multiplicity, steering every spanning-tree root to the liar.
+* :class:`ScrambleNeighbors` -- report the occupied-neighbor port map
+  permuted.  Sliding robots that route *through the liar's node* exit
+  through wrong ports, breaking the monotone-progress invariant.
+
+The engine applies policies in
+:class:`~repro.sim.engine.SimulationEngine` via the
+``byzantine_policies`` parameter; dispersion is then judged on *honest*
+robots only (the natural BYZANTINEDISPERSION analog of Definition 6).
+
+The accompanying benchmark (E7) measures the damage; the headline finding
+-- a single well-placed byzantine robot defeats the algorithm -- is
+exactly why the paper lists byzantine tolerance as open.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+from repro.sim.observation import InfoPacket, NeighborInfo
+
+
+def _coin(seed: int, round_index: int, purpose: str, modulus: int) -> int:
+    """Deterministic adversarial 'randomness' for byzantine choices."""
+    if modulus <= 0:
+        return 0
+    digest = hashlib.sha256(
+        f"byz:{seed}:{purpose}:{round_index}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") % modulus
+
+
+class ByzantinePolicy(ABC):
+    """One byzantine robot's behavior: how it forges and how it moves."""
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self._seed = seed
+
+    @abstractmethod
+    def forge_packet(
+        self, true_packet: InfoPacket, round_index: int
+    ) -> InfoPacket:
+        """The packet broadcast instead of the truthful one.
+
+        Only called when the byzantine robot is its node's representative
+        (the broadcaster).  Must return a *structurally* plausible packet
+        -- the representative field must stay the byzantine robot's own ID
+        (identities are unforgeable in the model: IDs are the one thing
+        robots can verify of each other).
+        """
+
+    def choose_move(
+        self, degree: int, round_index: int
+    ) -> Optional[int]:
+        """The byzantine robot's own movement: a port or None (stay).
+
+        Default: move through an adversarially pseudo-random port (a
+        byzantine robot has no obligation to follow the algorithm).
+        """
+        if degree == 0:
+            return None
+        return 1 + _coin(self._seed, round_index, "move", degree)
+
+
+class HideMultiplicity(ByzantinePolicy):
+    """Under-report: claim to be alone on the node.
+
+    Removes every co-located ID above the representative's own from the
+    packet.  Honest robots relying on global multiplicity detection for
+    termination (as Algorithm 4 does) see a dispersed configuration and
+    stop making progress -- permanently, if the hidden multiplicity is the
+    last one.
+    """
+
+    def forge_packet(
+        self, true_packet: InfoPacket, round_index: int
+    ) -> InfoPacket:
+        return InfoPacket(
+            representative_id=true_packet.representative_id,
+            robot_ids=(true_packet.representative_id,),
+            degree=true_packet.degree,
+            occupied_neighbors=true_packet.occupied_neighbors,
+        )
+
+    def choose_move(self, degree: int, round_index: int) -> Optional[int]:
+        """Stay put: moving away would expose the hidden robots."""
+        return None
+
+
+class FakeMultiplicity(ByzantinePolicy):
+    """Over-report: claim phantom co-located robots.
+
+    Two phantom-ID regimes, increasingly vicious:
+
+    * ``impersonate=False`` (default) -- phantom IDs live *above* any real
+      ID, colliding with nobody.  Honest algorithms see a permanent
+      multiplicity node and keep trying to resolve it; Algorithm 4 assigns
+      the phantoms to sliding paths (they are the next-smallest "robots"
+      at the root), wasting those paths every round.
+    * ``impersonate=True`` -- the phantoms reuse the IDs of *real* robots
+      positioned elsewhere.  Honest robots then receive sliding
+      instructions computed for a node they are not on: misrouted moves,
+      possibly invalid ports -- the algorithm's determinism is turned
+      against it.  (Whether real systems permit ID impersonation depends
+      on authentication assumptions; both variants are measured.)
+    """
+
+    def __init__(
+        self,
+        *,
+        phantoms: int = 2,
+        impersonate: bool = False,
+        impersonated_ids: Tuple[int, ...] = (),
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        if phantoms < 1:
+            raise ValueError("need at least one phantom robot")
+        self._phantoms = phantoms
+        self._impersonate = impersonate
+        self._impersonated_ids = impersonated_ids
+
+    def forge_packet(
+        self, true_packet: InfoPacket, round_index: int
+    ) -> InfoPacket:
+        if self._impersonate and self._impersonated_ids:
+            extras = set(self._impersonated_ids[: self._phantoms])
+        else:
+            base = 10_000 + 100 * true_packet.representative_id
+            extras = {base + i for i in range(self._phantoms)}
+        fake_ids = tuple(sorted(set(true_packet.robot_ids) | extras))
+        return InfoPacket(
+            representative_id=true_packet.representative_id,
+            robot_ids=fake_ids,
+            degree=true_packet.degree,
+            occupied_neighbors=true_packet.occupied_neighbors,
+        )
+
+    def choose_move(self, degree: int, round_index: int) -> Optional[int]:
+        """Stay put so the phantom multiplicity is stable."""
+        return None
+
+
+class ScrambleNeighbors(ByzantinePolicy):
+    """Permute the reported ports of the occupied neighbors.
+
+    Honest robots planning a sliding hop *through the liar's node* compute
+    their exit port from this packet; a rotated port map sends them to the
+    wrong neighbor (possibly an occupied one), voiding the disjoint-path
+    analysis for that round.
+    """
+
+    def forge_packet(
+        self, true_packet: InfoPacket, round_index: int
+    ) -> InfoPacket:
+        infos: Tuple[NeighborInfo, ...] = true_packet.occupied_neighbors
+        if len(infos) < 2:
+            return true_packet
+        rotation = 1 + _coin(
+            self._seed, round_index, "rotate", len(infos) - 1
+        )
+        ports = [info.port for info in infos]
+        rotated_ports = ports[rotation:] + ports[:rotation]
+        scrambled = tuple(
+            NeighborInfo(
+                port=new_port,
+                representative_id=info.representative_id,
+                robot_count=info.robot_count,
+                robot_ids=info.robot_ids,
+            )
+            for info, new_port in zip(infos, rotated_ports)
+        )
+        scrambled = tuple(sorted(scrambled, key=lambda info: info.port))
+        return InfoPacket(
+            representative_id=true_packet.representative_id,
+            robot_ids=true_packet.robot_ids,
+            degree=true_packet.degree,
+            occupied_neighbors=scrambled,
+        )

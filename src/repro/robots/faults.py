@@ -1,0 +1,144 @@
+"""Crash-fault schedules (Section VII of the paper).
+
+A crashed robot "behaves as if it has vanished from the system": it stops
+communicating, never moves again, and no robot can observe where it was.
+The paper allows a crash at any time except mid-move (moves are
+instantaneous), which at round granularity leaves two distinct crash
+points:
+
+* ``BEFORE_COMMUNICATE`` -- the robot vanishes before the round's
+  Communicate phase; its information packet is never broadcast, so the
+  survivors' component construction simply excludes it (possibly splitting
+  a component, which the paper explicitly tolerates).
+* ``AFTER_COMPUTE`` -- the robot vanishes after computing (and being
+  included in everyone's packets) but before moving; other robots slide as
+  planned while the crashed one silently stays put and disappears.  Its
+  node may thereby become empty, which "behaves like a previously
+  unoccupied empty node for round r+1".
+
+A :class:`CrashSchedule` maps robots to their single crash event; the
+simulation engine consumes it phase by phase.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+
+class CrashPhase(enum.Enum):
+    """Where within a round a crash strikes."""
+
+    BEFORE_COMMUNICATE = "before_communicate"
+    AFTER_COMPUTE = "after_compute"
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One robot's crash: the round and intra-round phase it vanishes at."""
+
+    robot_id: int
+    round_index: int
+    phase: CrashPhase
+
+    def __post_init__(self) -> None:
+        if self.round_index < 0:
+            raise ValueError("crash round must be >= 0")
+        if self.robot_id < 1:
+            raise ValueError("robot ids start at 1")
+
+
+class CrashSchedule:
+    """An assignment of at most one crash event per robot.
+
+    The schedule is the *adversary's* choice; the engine applies it
+    mechanically.  The empty schedule models the fault-free setting.
+    """
+
+    def __init__(self, events: Iterable[CrashEvent] = ()) -> None:
+        self._by_robot: Dict[int, CrashEvent] = {}
+        for event in events:
+            if event.robot_id in self._by_robot:
+                raise ValueError(
+                    f"robot {event.robot_id} has two crash events; "
+                    "a robot crashes at most once"
+                )
+            self._by_robot[event.robot_id] = event
+
+    @classmethod
+    def none(cls) -> "CrashSchedule":
+        """The fault-free schedule."""
+        return cls()
+
+    @classmethod
+    def from_mapping(
+        cls, crashes: Mapping[int, Tuple[int, CrashPhase]]
+    ) -> "CrashSchedule":
+        """Build from ``{robot_id: (round, phase)}``."""
+        return cls(
+            CrashEvent(robot_id, rnd, phase)
+            for robot_id, (rnd, phase) in crashes.items()
+        )
+
+    @classmethod
+    def random_schedule(
+        cls,
+        k: int,
+        f: int,
+        max_round: int,
+        rng: random.Random,
+        *,
+        phases: Optional[List[CrashPhase]] = None,
+    ) -> "CrashSchedule":
+        """``f`` distinct robots crash at random rounds in ``[0, max_round]``.
+
+        ``phases`` restricts the sampled crash phases (default: both).
+        """
+        if not 0 <= f <= k:
+            raise ValueError(f"need 0 <= f <= k, got f={f}, k={k}")
+        if max_round < 0:
+            raise ValueError("max_round must be >= 0")
+        phase_choices = phases or list(CrashPhase)
+        victims = rng.sample(range(1, k + 1), f)
+        return cls(
+            CrashEvent(
+                victim, rng.randint(0, max_round), rng.choice(phase_choices)
+            )
+            for victim in victims
+        )
+
+    # ------------------------------------------------------------------
+    # Queries used by the engine
+    # ------------------------------------------------------------------
+
+    @property
+    def num_faults(self) -> int:
+        """Number of scheduled crashes ``f``."""
+        return len(self._by_robot)
+
+    def events(self) -> List[CrashEvent]:
+        """All events, sorted by (round, phase, robot)."""
+        return sorted(
+            self._by_robot.values(),
+            key=lambda e: (e.round_index, e.phase.value, e.robot_id),
+        )
+
+    def crashes_at(self, round_index: int, phase: CrashPhase) -> Set[int]:
+        """Robots that vanish at exactly this round and phase."""
+        return {
+            event.robot_id
+            for event in self._by_robot.values()
+            if event.round_index == round_index and event.phase is phase
+        }
+
+    def event_for(self, robot_id: int) -> Optional[CrashEvent]:
+        """The crash event of ``robot_id``, if any."""
+        return self._by_robot.get(robot_id)
+
+    def __len__(self) -> int:
+        return len(self._by_robot)
+
+    def __repr__(self) -> str:
+        return f"CrashSchedule(f={len(self._by_robot)})"

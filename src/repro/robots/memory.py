@@ -1,0 +1,90 @@
+"""Persistent-memory bit accounting (the currency of Lemma 8).
+
+The paper measures memory as the number of bits a robot stores *between*
+rounds; within-round scratch space is free.  Algorithms in this library
+expose their per-robot persistent state as a small dict of primitive values
+via ``persistent_state(robot_id)``; the functions here convert such states
+into bit counts so the engine can audit the Theta(log k) bound empirically.
+
+The encoding charged is the information-theoretic one a real robot would
+use: an integer field known to lie in ``[0, B]`` costs ``ceil(log2(B + 1))``
+bits, a boolean costs 1 bit, ``None`` (absent optional field) costs the
+field's full width (the robot must still reserve the slot).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Optional, Tuple
+
+
+def robot_id_bits(k: int) -> int:
+    """Bits needed to store a robot ID from ``[1, k]``: ``ceil(log2 k)``."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return max(1, math.ceil(math.log2(k))) if k > 1 else 1
+
+
+def bits_for_value(value: Any, *, bound: Optional[int] = None) -> int:
+    """Bits to persist one value.
+
+    ``bound`` is the declared maximum for integer fields (e.g. ``k`` for a
+    robot ID, the maximum degree for a port).  Without a bound, the value's
+    own bit length is charged -- a lower bound on any real encoding.
+    """
+    if value is None:
+        return 0 if bound is None else max(1, math.ceil(math.log2(bound + 1)))
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        if bound is not None:
+            if value > bound:
+                raise ValueError(
+                    f"value {value} exceeds its declared bound {bound}"
+                )
+            return max(1, math.ceil(math.log2(bound + 1)))
+        return max(1, abs(value).bit_length() + (1 if value < 0 else 0))
+    if isinstance(value, (tuple, list)):
+        return sum(bits_for_value(item) for item in value)
+    if isinstance(value, str):
+        return 8 * len(value.encode("utf-8"))
+    if isinstance(value, frozenset) or isinstance(value, set):
+        return sum(bits_for_value(item) for item in value)
+    raise TypeError(
+        f"cannot account bits for persistent value of type {type(value)!r}; "
+        "persistent state must be built from ints, bools, strings, and "
+        "containers of those"
+    )
+
+
+def bits_for_state(
+    state: Mapping[str, Any],
+    *,
+    bounds: Optional[Mapping[str, int]] = None,
+) -> int:
+    """Total persisted bits for a robot's named state fields.
+
+    ``bounds`` optionally declares the maximum for integer fields by name.
+    Field names themselves are not charged: they are part of the algorithm's
+    program, not its state.
+    """
+    bounds = bounds or {}
+    return sum(
+        bits_for_value(value, bound=bounds.get(name))
+        for name, value in state.items()
+    )
+
+
+def theoretical_memory_bound(k: int, constant: float = 4.0) -> float:
+    """A reference ``constant * log2(k)`` curve for plots and assertions."""
+    if k < 2:
+        return constant
+    return constant * math.log2(k)
+
+
+def summarize_memory(per_robot_bits: Mapping[int, int]) -> Tuple[int, float]:
+    """Return ``(max_bits, mean_bits)`` across robots."""
+    if not per_robot_bits:
+        return (0, 0.0)
+    values = list(per_robot_bits.values())
+    return (max(values), sum(values) / len(values))

@@ -1,0 +1,156 @@
+"""Robot identities and initial placements.
+
+The paper's robots are distinguishable agents with unique IDs in ``[1, k]``.
+This module provides :class:`RobotSet`, a small helper describing a set of
+robots and their initial placement on ground-truth nodes, plus placement
+constructors for the configurations the paper distinguishes (rooted vs.
+arbitrary initial configurations).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Mapping, Optional
+
+
+def validate_robot_ids(ids: Iterable[int]) -> List[int]:
+    """Check that ``ids`` are exactly ``1..k`` for some ``k``; return sorted."""
+    sorted_ids = sorted(ids)
+    if not sorted_ids:
+        raise ValueError("robot set must be non-empty")
+    k = len(sorted_ids)
+    if sorted_ids != list(range(1, k + 1)):
+        raise ValueError(
+            f"robot IDs must be exactly 1..{k}, got {sorted_ids}"
+        )
+    return sorted_ids
+
+
+class RobotSet:
+    """``k`` robots with IDs ``1..k`` and an initial node placement.
+
+    ``positions`` maps robot id -> ground-truth node index.  Multiple robots
+    may share a node (multiplicity nodes); at least one multiplicity node
+    must exist for DISPERSION to be non-trivial, but single-robot instances
+    are allowed (they are trivially dispersed).
+    """
+
+    def __init__(self, positions: Mapping[int, int], n: int) -> None:
+        validate_robot_ids(positions.keys())
+        if len(positions) > n:
+            raise ValueError(
+                f"k={len(positions)} robots exceed n={n} nodes; "
+                "DISPERSION requires k <= n"
+            )
+        for robot_id, node in positions.items():
+            if not 0 <= node < n:
+                raise ValueError(
+                    f"robot {robot_id} placed on node {node}, out of range "
+                    f"for n={n}"
+                )
+        self._positions: Dict[int, int] = dict(positions)
+        self._n = n
+
+    # ------------------------------------------------------------------
+    # Constructors for the paper's initial configurations
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def rooted(cls, k: int, n: int, *, root: int = 0) -> "RobotSet":
+        """All ``k`` robots on one node: the *rooted* initial configuration."""
+        return cls({robot_id: root for robot_id in range(1, k + 1)}, n)
+
+    @classmethod
+    def arbitrary(
+        cls,
+        k: int,
+        n: int,
+        rng: random.Random,
+        *,
+        num_occupied: Optional[int] = None,
+    ) -> "RobotSet":
+        """A random arbitrary initial configuration.
+
+        ``num_occupied`` controls how many distinct nodes initially hold
+        robots (default: a random value in ``[1, k]``).  Every chosen node
+        gets at least one robot; the remainder are spread randomly, so the
+        configuration generally contains multiplicity nodes.
+        """
+        if not 1 <= k <= n:
+            raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+        if num_occupied is None:
+            num_occupied = rng.randint(1, k)
+        if not 1 <= num_occupied <= k:
+            raise ValueError(
+                f"num_occupied must be in [1, {k}], got {num_occupied}"
+            )
+        nodes = rng.sample(range(n), num_occupied)
+        positions: Dict[int, int] = {}
+        robot_ids = list(range(1, k + 1))
+        rng.shuffle(robot_ids)
+        for i, robot_id in enumerate(robot_ids):
+            if i < num_occupied:
+                positions[robot_id] = nodes[i]
+            else:
+                positions[robot_id] = rng.choice(nodes)
+        return cls(positions, n)
+
+    @classmethod
+    def from_node_loads(
+        cls, loads: Mapping[int, int], n: int
+    ) -> "RobotSet":
+        """Place robots by ``{node: count}``; IDs assigned in node order."""
+        positions: Dict[int, int] = {}
+        next_id = 1
+        for node in sorted(loads):
+            count = loads[node]
+            if count < 0:
+                raise ValueError(f"negative robot count at node {node}")
+            for _ in range(count):
+                positions[next_id] = node
+                next_id += 1
+        return cls(positions, n)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Number of robots."""
+        return len(self._positions)
+
+    @property
+    def n(self) -> int:
+        """Number of graph nodes the placement refers to."""
+        return self._n
+
+    @property
+    def positions(self) -> Dict[int, int]:
+        """A copy of the robot -> node placement."""
+        return dict(self._positions)
+
+    def robot_ids(self) -> List[int]:
+        """Sorted robot IDs (always ``1..k``)."""
+        return sorted(self._positions)
+
+    def occupied_nodes(self) -> List[int]:
+        """Sorted list of initially occupied nodes."""
+        return sorted(set(self._positions.values()))
+
+    def multiplicity_nodes(self) -> List[int]:
+        """Nodes initially holding two or more robots."""
+        counts: Dict[int, int] = {}
+        for node in self._positions.values():
+            counts[node] = counts.get(node, 0) + 1
+        return sorted(node for node, c in counts.items() if c >= 2)
+
+    def is_dispersed(self) -> bool:
+        """Whether the placement already has at most one robot per node."""
+        return not self.multiplicity_nodes()
+
+    def __repr__(self) -> str:
+        return (
+            f"RobotSet(k={self.k}, n={self._n}, "
+            f"occupied={len(self.occupied_nodes())})"
+        )

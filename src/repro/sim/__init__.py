@@ -1,0 +1,75 @@
+"""Synchronous Communicate-Compute-Move simulation of robot algorithms.
+
+This package is the substrate that stands in for the paper's synchronous
+dynamic network: it owns the ground truth (node indices, robot positions,
+who is alive), builds exactly the observations each communication/sensing
+model entitles robots to, runs the per-round CCM loop against a (possibly
+adversarial) dynamic graph, injects crash faults, audits persistent memory,
+and records traces and metrics.
+
+The strict separation between ground truth and robot-visible information is
+the load-bearing design rule: robots only ever see
+:class:`~repro.sim.observation.InfoPacket` s and their own node's local
+view, never node indices, so an algorithm that "cheats" cannot typecheck
+its way into the simulator.
+"""
+
+from repro.sim.observation import (
+    CommunicationModel,
+    InfoPacket,
+    NeighborInfo,
+    Observation,
+    build_info_packets,
+    build_observations,
+)
+from repro.sim.algorithm import RobotAlgorithm, StayDecision, MoveDecision, Decision
+from repro.sim.metrics import RoundRecord, RunResult, TerminationReason
+from repro.sim.engine import SimulationEngine, SimulationError
+from repro.sim.invariants import verify_run
+from repro.sim.traceio import (
+    dynamic_graph_to_script,
+    replay_and_verify,
+    run_result_to_dict,
+    run_result_to_json,
+    script_from_dict,
+    script_to_dict,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
+from repro.sim.scheduling import (
+    ActivationSchedule,
+    FullActivation,
+    RandomSubsetActivation,
+    RoundRobinActivation,
+)
+
+__all__ = [
+    "CommunicationModel",
+    "InfoPacket",
+    "NeighborInfo",
+    "Observation",
+    "build_info_packets",
+    "build_observations",
+    "RobotAlgorithm",
+    "Decision",
+    "StayDecision",
+    "MoveDecision",
+    "RoundRecord",
+    "RunResult",
+    "TerminationReason",
+    "SimulationEngine",
+    "SimulationError",
+    "ActivationSchedule",
+    "FullActivation",
+    "RandomSubsetActivation",
+    "RoundRobinActivation",
+    "verify_run",
+    "dynamic_graph_to_script",
+    "replay_and_verify",
+    "run_result_to_dict",
+    "run_result_to_json",
+    "script_from_dict",
+    "script_to_dict",
+    "snapshot_from_dict",
+    "snapshot_to_dict",
+]

@@ -1,0 +1,484 @@
+"""The synchronous Communicate-Compute-Move simulation engine.
+
+One engine instance runs one instance of the problem: a dynamic graph
+process, an initial robot placement, an algorithm, and (optionally) a crash
+schedule.  Each round executes the paper's CCM structure:
+
+1. the adversary/dynamic process supplies ``G_r`` knowing the configuration
+   (validated: fixed vertex set, connected, simple, port-bijective);
+2. robots scheduled to crash *before Communicate* vanish;
+3. **Communicate** -- per-node information packets are built and delivered
+   according to the communication model (global or local) and sensing model
+   (with or without 1-neighborhood knowledge);
+4. **Compute** -- every alive robot's decision is collected (no decision is
+   applied until all are collected: the setting is synchronous);
+5. robots scheduled to crash *after Compute* vanish, their moves discarded;
+6. **Move** -- all remaining moves are applied simultaneously.
+
+The engine owns the ground truth and uses it for termination detection,
+validation, and metrics; algorithms never receive it.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.graph.dynamic import DynamicGraph, RoundContext
+from repro.graph.validation import validate_snapshot
+from repro.robots.faults import CrashPhase, CrashSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - circular-import guard (annotations)
+    from repro.robots.byzantine import ByzantinePolicy
+from repro.robots.memory import bits_for_state
+from repro.robots.robot import RobotSet
+from repro.sim.algorithm import Decision, MoveDecision, RobotAlgorithm, StayDecision
+from repro.sim.metrics import RoundRecord, RunResult, TerminationReason
+from repro.sim.observation import (
+    CommunicationModel,
+    InfoPacket,
+    build_info_packets,
+    observations_from_packets,
+)
+from repro.sim.scheduling import ActivationSchedule, FullActivation
+
+
+class SimulationError(RuntimeError):
+    """An algorithm or adversary violated the model during a run."""
+
+
+class SimulationEngine:
+    """Runs one dispersion instance to termination.
+
+    Parameters
+    ----------
+    dynamic_graph:
+        The per-round graph source (oblivious process or adaptive
+        adversary).
+    robots:
+        Initial placement; either a :class:`~repro.robots.robot.RobotSet`
+        or a raw ``{robot_id: node}`` mapping.
+    algorithm:
+        The robot program.
+    crash_schedule:
+        Crash faults to inject (default: none).
+    communication / neighborhood_knowledge:
+        The information model of the run.  The engine refuses to start if
+        the algorithm declares stronger requirements (fail fast instead of
+        silently running a meaningless configuration); pass
+        ``allow_model_mismatch=True`` to override -- that is exactly what
+        the impossibility demonstrations do when they run global-model
+        candidate algorithms under handicapped models.
+    max_rounds:
+        Safety cap; defaults to a generous bound well above O(k).
+    collect_records:
+        Set False to skip per-round records in large benchmark sweeps.
+    """
+
+    def __init__(
+        self,
+        dynamic_graph: DynamicGraph,
+        robots: Union[RobotSet, Mapping[int, int]],
+        algorithm: RobotAlgorithm,
+        *,
+        crash_schedule: Optional[CrashSchedule] = None,
+        communication: CommunicationModel = CommunicationModel.GLOBAL,
+        neighborhood_knowledge: bool = True,
+        max_rounds: Optional[int] = None,
+        collect_records: bool = True,
+        collect_snapshots: bool = False,
+        validate_graphs: bool = True,
+        allow_model_mismatch: bool = False,
+        activation_schedule: Optional[ActivationSchedule] = None,
+        byzantine_policies: Optional[Mapping[int, "ByzantinePolicy"]] = None,
+        round_observers: Optional[
+            Sequence[Callable[[RoundRecord], None]]
+        ] = None,
+    ) -> None:
+        if isinstance(robots, RobotSet):
+            if robots.n != dynamic_graph.n:
+                raise ValueError(
+                    f"robot set built for n={robots.n}, dynamic graph has "
+                    f"n={dynamic_graph.n}"
+                )
+            initial_positions = robots.positions
+        else:
+            initial_positions = dict(robots)
+            RobotSet(initial_positions, dynamic_graph.n)  # validates
+
+        if not allow_model_mismatch:
+            if (
+                algorithm.requires_communication is CommunicationModel.GLOBAL
+                and communication is CommunicationModel.LOCAL
+            ):
+                raise ValueError(
+                    f"algorithm {algorithm.name!r} requires global "
+                    "communication but the run is configured local; pass "
+                    "allow_model_mismatch=True if this is intentional"
+                )
+            if (
+                algorithm.requires_neighborhood_knowledge
+                and not neighborhood_knowledge
+            ):
+                raise ValueError(
+                    f"algorithm {algorithm.name!r} requires 1-neighborhood "
+                    "knowledge but the run disables it; pass "
+                    "allow_model_mismatch=True if this is intentional"
+                )
+
+        self._dynamic_graph = dynamic_graph
+        self._algorithm = algorithm
+        self._crash_schedule = crash_schedule or CrashSchedule.none()
+        self._communication = communication
+        self._neighborhood_knowledge = neighborhood_knowledge
+        self._collect_records = collect_records
+        self._collect_snapshots = collect_snapshots
+        self._validate_graphs = validate_graphs
+        self._activation = activation_schedule or FullActivation()
+        self._round_observers = tuple(round_observers or ())
+        self._byzantine: Dict[int, "ByzantinePolicy"] = dict(
+            byzantine_policies or {}
+        )
+        unknown = set(self._byzantine) - set(initial_positions)
+        if unknown:
+            raise ValueError(
+                f"byzantine policies reference unknown robots {sorted(unknown)}"
+            )
+
+        self._n = dynamic_graph.n
+        self._k = len(initial_positions)
+        self._positions: Dict[int, int] = dict(initial_positions)
+        self._crashed: Set[int] = set()
+        self._entry_ports: Dict[int, int] = {}
+        self._ever_occupied: Set[int] = set(initial_positions.values())
+        self._initial_occupied = len(self._ever_occupied)
+
+        self._packets_broadcast = 0
+        self._packet_deliveries = 0
+
+        if max_rounds is None:
+            max_rounds = 10 * self._k * self._n + 100
+        if max_rounds < 0:
+            raise ValueError("max_rounds must be >= 0")
+        self._max_rounds = max_rounds
+
+    # ------------------------------------------------------------------
+    # Ground-truth helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Total robots (including crashed)."""
+        return self._k
+
+    @property
+    def n(self) -> int:
+        """Nodes in the dynamic graph."""
+        return self._n
+
+    def alive_positions(self) -> Dict[int, int]:
+        """Current alive robot -> node mapping (a copy)."""
+        return dict(self._positions)
+
+    def _occupied_nodes(self) -> Set[int]:
+        return set(self._positions.values())
+
+    def _honest_positions(self) -> Dict[int, int]:
+        return {
+            robot_id: node
+            for robot_id, node in self._positions.items()
+            if robot_id not in self._byzantine
+        }
+
+    def _is_dispersed(self) -> bool:
+        """No multiplicity node among alive robots.
+
+        With byzantine robots present, dispersion is judged on the honest
+        robots only (the BYZANTINEDISPERSION analog of Definition 6): each
+        alive honest robot on its own distinct node.
+        """
+        honest = self._honest_positions()
+        return len(set(honest.values())) == len(honest)
+
+    def _apply_crashes(self, round_index: int, phase: CrashPhase) -> Tuple[int, ...]:
+        victims = sorted(
+            robot_id
+            for robot_id in self._crash_schedule.crashes_at(round_index, phase)
+            if robot_id in self._positions
+        )
+        for robot_id in victims:
+            del self._positions[robot_id]
+            self._entry_ports.pop(robot_id, None)
+            self._crashed.add(robot_id)
+        return tuple(victims)
+
+    def _audit_memory(self) -> int:
+        """Peak persistent bits across alive honest robots, right now.
+
+        Byzantine robots are adversarial and unbounded; auditing them
+        would be meaningless.
+        """
+        bounds = self._algorithm.persistent_state_bounds(self._k, self._n)
+        peak = 0
+        for robot_id in self._honest_positions():
+            state = self._algorithm.persistent_state(robot_id)
+            peak = max(peak, bits_for_state(state, bounds=bounds))
+        return peak
+
+    def _communicate(self, snapshot, round_index: int):
+        """Build packets, apply byzantine forgery, deliver observations."""
+        packets = build_info_packets(
+            snapshot,
+            self._positions,
+            neighborhood_knowledge=self._neighborhood_knowledge,
+        )
+        if self._byzantine:
+            forged: Dict[int, InfoPacket] = {}
+            for node, packet in packets.items():
+                policy = self._byzantine.get(packet.representative_id)
+                if policy is not None:
+                    packet = policy.forge_packet(packet, round_index)
+                    if (
+                        packet.representative_id
+                        not in self._positions
+                    ):
+                        raise SimulationError(
+                            "byzantine forgery changed the representative "
+                            "ID; identities are unforgeable in the model"
+                        )
+                forged[node] = packet
+            packets = forged
+        self._packets_broadcast += len(packets)
+        if self._communication is CommunicationModel.GLOBAL:
+            self._packet_deliveries += len(packets) * len(self._positions)
+        else:
+            # local: each robot receives only its own node's packet
+            self._packet_deliveries += len(self._positions)
+        return observations_from_packets(
+            packets,
+            self._positions,
+            round_index,
+            communication=self._communication,
+            neighborhood_knowledge=self._neighborhood_knowledge,
+            entry_ports=self._entry_ports,
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute rounds until dispersion, crash-out, or the round cap."""
+        self._algorithm.on_run_start(self._k, self._n)
+
+        if self._is_dispersed():
+            return self._result(
+                TerminationReason.ALREADY_DISPERSED,
+                rounds=0,
+                total_moves=0,
+                max_bits=self._audit_memory(),
+                records=[],
+                detected=True,
+            )
+
+        records = []
+        total_moves = 0
+        max_bits = 0
+        round_index = 0
+        detected = False
+        self._packets_broadcast = 0
+        self._packet_deliveries = 0
+
+        while round_index < self._max_rounds:
+            # Adversary chooses G_r knowing the configuration so far.
+            context = RoundContext(
+                round_index=round_index,
+                positions=dict(self._positions),
+                ever_occupied=frozenset(self._ever_occupied),
+            )
+            snapshot = self._dynamic_graph.snapshot(round_index, context)
+            if self._validate_graphs:
+                validate_snapshot(
+                    snapshot, expected_n=self._n, round_index=round_index
+                )
+
+            crashed_before = self._apply_crashes(
+                round_index, CrashPhase.BEFORE_COMMUNICATE
+            )
+            if not self._positions:
+                return self._result(
+                    TerminationReason.ALL_CRASHED,
+                    rounds=round_index,
+                    total_moves=total_moves,
+                    max_bits=max_bits,
+                    records=records,
+                    detected=False,
+                )
+
+            positions_before = dict(self._positions)
+            occupied_before = frozenset(self._positions.values())
+
+            if self._is_dispersed():
+                observations = self._communicate(snapshot, round_index)
+                detected = all(
+                    self._algorithm.detects_termination(observations[rid])
+                    for rid in self._honest_positions()
+                )
+                return self._result(
+                    TerminationReason.DISPERSED,
+                    rounds=round_index,
+                    total_moves=total_moves,
+                    max_bits=max_bits,
+                    records=records,
+                    detected=detected,
+                )
+
+            # Communicate.
+            self._algorithm.on_round_start(round_index)
+            observations = self._communicate(snapshot, round_index)
+
+            # Compute: collect the decisions of all *active* robots before
+            # applying any (synchronous by default; a semi-synchronous
+            # schedule activates a subset -- inactive robots implicitly
+            # stay but remain physically present in everyone's packets).
+            active = self._activation.active_robots(
+                round_index, sorted(self._honest_positions())
+            )
+            active = frozenset(active) | (
+                set(self._byzantine) & set(self._positions)
+            )
+            if not set(active) <= set(self._positions):
+                raise SimulationError(
+                    "activation schedule returned robots that are not alive"
+                )
+            if self._positions and not active:
+                raise SimulationError(
+                    "activation schedule returned an empty activation set"
+                )
+            decisions: Dict[int, Decision] = {}
+            for robot_id in sorted(active):
+                policy = self._byzantine.get(robot_id)
+                if policy is not None:
+                    node = self._positions[robot_id]
+                    port = policy.choose_move(
+                        snapshot.degree(node), round_index
+                    )
+                    decisions[robot_id] = (
+                        MoveDecision(port) if port is not None else StayDecision()
+                    )
+                    continue
+                decision = self._algorithm.decide(observations[robot_id])
+                if not isinstance(decision, (StayDecision, MoveDecision)):
+                    raise SimulationError(
+                        f"algorithm returned {decision!r} for robot "
+                        f"{robot_id}; expected StayDecision or MoveDecision"
+                    )
+                decisions[robot_id] = decision
+
+            crashed_after = self._apply_crashes(
+                round_index, CrashPhase.AFTER_COMPUTE
+            )
+
+            # Move: simultaneous application (crashed robots' moves are
+            # discarded; they vanished holding their marching orders).
+            moved = []
+            new_entry_ports: Dict[int, int] = {}
+            for robot_id in sorted(decisions):
+                if robot_id not in self._positions:
+                    continue
+                decision = decisions[robot_id]
+                if isinstance(decision, MoveDecision):
+                    node = self._positions[robot_id]
+                    if decision.port > snapshot.degree(node):
+                        raise SimulationError(
+                            f"robot {robot_id} chose port {decision.port} "
+                            f"but its node has degree {snapshot.degree(node)}"
+                        )
+                    destination = snapshot.neighbor_via(node, decision.port)
+                    self._positions[robot_id] = destination
+                    new_entry_ports[robot_id] = snapshot.port_of(
+                        destination, node
+                    )
+                    moved.append(robot_id)
+            self._entry_ports = new_entry_ports
+            total_moves += len(moved)
+            self._ever_occupied.update(self._positions.values())
+
+            round_bits = self._audit_memory()
+            max_bits = max(max_bits, round_bits)
+
+            if self._collect_records or self._round_observers:
+                record = RoundRecord(
+                        round_index=round_index,
+                        positions_before=positions_before,
+                        positions_after=dict(self._positions),
+                        moved_robots=tuple(moved),
+                        crashed_before_communicate=crashed_before,
+                        crashed_after_compute=crashed_after,
+                        occupied_before=occupied_before,
+                        occupied_after=frozenset(self._positions.values()),
+                        num_components=len(
+                            snapshot.induced_occupied_components(
+                                occupied_before
+                            )
+                        ),
+                    max_persistent_bits=round_bits,
+                    snapshot=(
+                        snapshot if self._collect_snapshots else None
+                    ),
+                )
+                if self._collect_records:
+                    records.append(record)
+                for observe in self._round_observers:
+                    observe(record)
+            round_index += 1
+
+        reason = (
+            TerminationReason.DISPERSED
+            if self._is_dispersed()
+            else TerminationReason.ROUND_LIMIT
+        )
+        return self._result(
+            reason,
+            rounds=round_index,
+            total_moves=total_moves,
+            max_bits=max_bits,
+            records=records,
+            detected=False,
+        )
+
+    def _result(
+        self,
+        reason: TerminationReason,
+        *,
+        rounds: int,
+        total_moves: int,
+        max_bits: int,
+        records,
+        detected: bool,
+    ) -> RunResult:
+        return RunResult(
+            reason=reason,
+            rounds=rounds,
+            k=self._k,
+            n=self._n,
+            initial_occupied=self._initial_occupied,
+            final_positions=dict(self._positions),
+            crashed_robots=tuple(sorted(self._crashed)),
+            byzantine_robots=tuple(sorted(self._byzantine)),
+            total_moves=total_moves,
+            total_packets_broadcast=self._packets_broadcast,
+            total_packet_deliveries=self._packet_deliveries,
+            max_persistent_bits=max_bits,
+            records=records,
+            algorithm_detected_termination=detected,
+        )

@@ -1,0 +1,126 @@
+"""Activation schedules: synchronous and semi-synchronous execution.
+
+The paper's setting is fully synchronous -- every robot executes every CCM
+round -- and its Section VIII lists semi-synchronous / asynchronous
+settings as future work.  This module implements the scheduling layer for
+that direction:
+
+* :class:`FullActivation` -- the paper's model; every alive robot is
+  active every round (the engine's default);
+* :class:`RandomSubsetActivation` -- the classical SSYNC adversary
+  surrogate: each alive robot is independently active with probability
+  ``p`` (derandomized per (seed, round, robot)), with a guaranteed
+  non-empty activation set;
+* :class:`RoundRobinActivation` -- a deterministic SSYNC schedule
+  activating robots whose ID matches the round modulo a window.
+
+Semantics under partial activation: *presence is physical* -- inactive
+robots still occupy their nodes and appear in everyone's information
+packets (1-NK senses robots, not activity) -- but only active robots
+compute and move.  Under these semantics the paper's Lemma 7 no longer
+holds round-for-round (a sliding path can be executed partially, vacating
+a node), which is exactly the degradation the E5 benchmark measures; with
+random activation every configuration still has positive probability of a
+fully-active round, so dispersion remains achieved with probability 1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Sequence
+
+
+class ActivationSchedule(ABC):
+    """Decides which alive robots execute a given round."""
+
+    @abstractmethod
+    def active_robots(
+        self, round_index: int, alive: Sequence[int]
+    ) -> FrozenSet[int]:
+        """The subset of ``alive`` robot IDs that are active this round.
+
+        Must be a subset of ``alive`` and non-empty whenever ``alive`` is
+        (an all-asleep round would be indistinguishable from a stutter and
+        only inflates round counts).
+        """
+
+    @property
+    def is_synchronous(self) -> bool:
+        """Whether this schedule activates everyone every round."""
+        return False
+
+
+class FullActivation(ActivationSchedule):
+    """The paper's synchronous setting: everyone, every round."""
+
+    def active_robots(
+        self, round_index: int, alive: Sequence[int]
+    ) -> FrozenSet[int]:
+        return frozenset(alive)
+
+    @property
+    def is_synchronous(self) -> bool:
+        return True
+
+
+class RandomSubsetActivation(ActivationSchedule):
+    """Each alive robot is active with probability ``p``, independently.
+
+    Derandomized by hashing (seed, round, robot) so runs are reproducible.
+    If the sampled set comes out empty, the smallest alive robot is
+    activated (the scheduler must be fair enough to keep time moving).
+    """
+
+    def __init__(self, p: float, *, seed: int = 0) -> None:
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"activation probability must be in (0, 1], got {p}")
+        self._p = p
+        self._seed = seed
+
+    @property
+    def p(self) -> float:
+        """The per-robot activation probability."""
+        return self._p
+
+    def _coin(self, round_index: int, robot_id: int) -> float:
+        digest = hashlib.sha256(
+            f"{self._seed}:{round_index}:{robot_id}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def active_robots(
+        self, round_index: int, alive: Sequence[int]
+    ) -> FrozenSet[int]:
+        chosen = {
+            robot_id
+            for robot_id in alive
+            if self._coin(round_index, robot_id) < self._p
+        }
+        if not chosen and alive:
+            chosen = {min(alive)}
+        return frozenset(chosen)
+
+
+class RoundRobinActivation(ActivationSchedule):
+    """Deterministic SSYNC: robot ``i`` is active when
+    ``i % window == round % window`` (plus everyone every ``window``-th
+    round so multi-robot coordination is periodically possible)."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._window = window
+
+    def active_robots(
+        self, round_index: int, alive: Sequence[int]
+    ) -> FrozenSet[int]:
+        if self._window == 1 or round_index % self._window == 0:
+            return frozenset(alive)
+        phase = round_index % self._window
+        chosen = frozenset(
+            robot_id for robot_id in alive if robot_id % self._window == phase
+        )
+        if not chosen and alive:
+            chosen = frozenset({min(alive)})
+        return chosen

@@ -1,0 +1,186 @@
+"""Serialization of runs and dynamic-graph scripts to and from JSON.
+
+Reproduction artifacts should be inspectable and replayable outside the
+process that produced them.  This module provides:
+
+* :func:`snapshot_to_dict` / :func:`snapshot_from_dict` -- lossless
+  round-graph serialization (including port labels, which matter: two
+  labellings of the same graph are different inputs to the robots);
+* :func:`dynamic_graph_to_script` -- freeze the first R rounds of any
+  dynamic process into a plain list-of-snapshots script;
+* :func:`script_from_dict` / :func:`script_to_dict` -- (de)serialize such
+  scripts as :class:`~repro.graph.dynamic.SequenceDynamicGraph`;
+* :func:`run_result_to_dict` -- export a full run (metrics + per-round
+  records) for external analysis;
+* :func:`replay_and_verify` -- re-execute a serialized instance and check
+  the recorded outcome still holds (the reproducibility self-test).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.graph.dynamic import DynamicGraph, SequenceDynamicGraph
+from repro.graph.snapshot import GraphSnapshot
+from repro.sim.metrics import RunResult
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Snapshots
+# ---------------------------------------------------------------------------
+
+
+def snapshot_to_dict(snapshot: GraphSnapshot) -> Dict[str, Any]:
+    """Lossless dict form of a snapshot (ports included)."""
+    return {
+        "n": snapshot.n,
+        "ports": [
+            {str(port): neighbor for port, neighbor in snapshot.port_map(v).items()}
+            for v in snapshot.nodes()
+        ],
+    }
+
+
+def snapshot_from_dict(data: Dict[str, Any]) -> GraphSnapshot:
+    """Inverse of :func:`snapshot_to_dict` (validates structure)."""
+    try:
+        n = int(data["n"])
+        ports = [
+            {int(port): int(neighbor) for port, neighbor in entry.items()}
+            for entry in data["ports"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed snapshot payload: {exc}") from exc
+    return GraphSnapshot.from_port_maps(n, ports)
+
+
+# ---------------------------------------------------------------------------
+# Dynamic-graph scripts
+# ---------------------------------------------------------------------------
+
+
+def dynamic_graph_to_script(
+    dynamic_graph: DynamicGraph, rounds: int, *, tail: str = "hold"
+) -> SequenceDynamicGraph:
+    """Freeze the first ``rounds`` snapshots of an *oblivious* process.
+
+    Adaptive adversaries depend on the run's configuration and cannot be
+    frozen without it; they are rejected.
+    """
+    if dynamic_graph.is_adaptive:
+        raise ValueError(
+            "adaptive adversaries cannot be frozen into a script without "
+            "the configuration history; serialize the run's snapshots from "
+            "the engine instead"
+        )
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    snapshots = [dynamic_graph.snapshot(r) for r in range(rounds)]
+    return SequenceDynamicGraph(snapshots, tail=tail)
+
+
+def script_to_dict(script: SequenceDynamicGraph, rounds: int) -> Dict[str, Any]:
+    """Dict form of the first ``rounds`` snapshots of a script."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "dynamic_graph_script",
+        "snapshots": [
+            snapshot_to_dict(script.snapshot(r)) for r in range(rounds)
+        ],
+    }
+
+
+def script_from_dict(data: Dict[str, Any], *, tail: str = "hold") -> SequenceDynamicGraph:
+    """Inverse of :func:`script_to_dict`."""
+    if data.get("kind") != "dynamic_graph_script":
+        raise ValueError("payload is not a dynamic_graph_script")
+    snapshots = [snapshot_from_dict(s) for s in data["snapshots"]]
+    return SequenceDynamicGraph(snapshots, tail=tail)
+
+
+# ---------------------------------------------------------------------------
+# Run results
+# ---------------------------------------------------------------------------
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Full dict export of a run (JSON-serializable)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "run_result",
+        "reason": result.reason.value,
+        "rounds": result.rounds,
+        "k": result.k,
+        "n": result.n,
+        "initial_occupied": result.initial_occupied,
+        "final_positions": {
+            str(robot): node for robot, node in result.final_positions.items()
+        },
+        "crashed_robots": list(result.crashed_robots),
+        "total_moves": result.total_moves,
+        "max_persistent_bits": result.max_persistent_bits,
+        "algorithm_detected_termination": result.algorithm_detected_termination,
+        "records": [
+            {
+                "round": record.round_index,
+                "positions_before": {
+                    str(r): v for r, v in record.positions_before.items()
+                },
+                "positions_after": {
+                    str(r): v for r, v in record.positions_after.items()
+                },
+                "moved": list(record.moved_robots),
+                "crashed_before_communicate": list(
+                    record.crashed_before_communicate
+                ),
+                "crashed_after_compute": list(record.crashed_after_compute),
+                "occupied_before": sorted(record.occupied_before),
+                "occupied_after": sorted(record.occupied_after),
+                "num_components": record.num_components,
+                "max_persistent_bits": record.max_persistent_bits,
+            }
+            for record in result.records
+        ],
+    }
+
+
+def run_result_to_json(result: RunResult, *, indent: Optional[int] = None) -> str:
+    """JSON string export of a run."""
+    return json.dumps(run_result_to_dict(result), indent=indent)
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+
+
+def replay_and_verify(
+    script: SequenceDynamicGraph,
+    initial_positions: Dict[int, int],
+    expected: RunResult,
+) -> RunResult:
+    """Re-run a serialized instance and verify it reproduces ``expected``.
+
+    Checks the headline outcome (reason, rounds, final positions, moves).
+    Raises ``AssertionError`` on divergence; returns the replayed result.
+    """
+    from repro.core.dispersion import DispersionDynamic
+    from repro.sim.engine import SimulationEngine
+
+    replayed = SimulationEngine(
+        script, dict(initial_positions), DispersionDynamic()
+    ).run()
+    if (
+        replayed.reason is not expected.reason
+        or replayed.rounds != expected.rounds
+        or replayed.final_positions != expected.final_positions
+        or replayed.total_moves != expected.total_moves
+    ):
+        raise AssertionError(
+            "replay diverged from the recorded run: "
+            f"{replayed.summary()} vs {expected.summary()}"
+        )
+    return replayed

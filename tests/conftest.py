@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.graph.generators import random_connected_graph
+from repro.graph.snapshot import GraphSnapshot
+from repro.robots.robot import RobotSet
+from repro.sim.observation import InfoPacket, build_info_packets
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; tests that need more seeds build their own."""
+    return random.Random(0xC0FFEE)
+
+
+def make_packets(
+    snapshot: GraphSnapshot, positions: Dict[int, int]
+) -> List[InfoPacket]:
+    """All information packets of a configuration (1-NK enabled)."""
+    return list(build_info_packets(snapshot, positions).values())
+
+
+def random_instance(
+    seed: int,
+    *,
+    min_n: int = 4,
+    max_n: int = 30,
+) -> Tuple[GraphSnapshot, Dict[int, int]]:
+    """A random connected snapshot plus a random robot placement on it."""
+    rng = random.Random(seed)
+    n = rng.randint(min_n, max_n)
+    snapshot = random_connected_graph(n, rng.randint(0, 2 * n), rng)
+    k = rng.randint(2, n)
+    robots = RobotSet.arbitrary(k, n, rng)
+    return snapshot, robots.positions
+
+
+def representative_of(positions: Dict[int, int], node: int) -> int:
+    """Smallest robot ID on ``node`` (its packet representative)."""
+    ids = [r for r, pos in positions.items() if pos == node]
+    if not ids:
+        raise ValueError(f"node {node} is empty")
+    return min(ids)

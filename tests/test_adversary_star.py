@@ -1,0 +1,118 @@
+"""Tests for the Theorem 3 star-star lower-bound adversary (Figure 2)."""
+
+import pytest
+
+from repro.adversary.star_lower_bound import StarStarAdversary
+from repro.analysis.bounds import rounds_match_lower_bound
+from repro.core.dispersion import DispersionDynamic
+from repro.graph.dynamic import RoundContext
+from repro.robots.robot import RobotSet
+from repro.sim.engine import SimulationEngine
+
+
+class TestConstruction:
+    def test_snapshot_shape(self):
+        adversary = StarStarAdversary(10, [0, 1, 2])
+        ctx = RoundContext(0, positions={1: 0, 2: 1, 3: 2, 4: 0})
+        snap = adversary.snapshot(0, ctx)
+        assert snap.is_connected()
+        assert snap.diameter() <= 3
+
+    def test_only_one_empty_node_adjacent_to_occupied(self):
+        adversary = StarStarAdversary(12, [0])
+        positions = {i: i - 1 for i in range(1, 6)}  # occupied 0..4
+        ctx = RoundContext(0, positions=positions)
+        snap = adversary.snapshot(0, ctx)
+        occupied = set(positions.values())
+        frontier = set()
+        for node in occupied:
+            for neighbor in snap.neighbors(node):
+                if neighbor not in occupied:
+                    frontier.add(neighbor)
+        assert len(frontier) == 1
+
+    def test_all_occupied_fallback(self):
+        adversary = StarStarAdversary(5, [0])
+        ctx = RoundContext(0, positions={i: i - 1 for i in range(1, 6)})
+        snap = adversary.snapshot(0, ctx)
+        assert snap.is_connected()
+
+    def test_without_context_uses_initial(self):
+        adversary = StarStarAdversary(8, [2, 3])
+        snap = adversary.snapshot(0)
+        assert snap.is_connected()
+
+    def test_rejects_empty_initial(self):
+        with pytest.raises(ValueError):
+            StarStarAdversary(5, [])
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ValueError):
+            StarStarAdversary(5, [0], center_policy="weird")
+
+    def test_snapshot_cached_per_round(self):
+        adversary = StarStarAdversary(8, [0])
+        ctx = RoundContext(0, positions={1: 0, 2: 0})
+        assert adversary.snapshot(0, ctx) is adversary.snapshot(0, ctx)
+
+    def test_is_adaptive(self):
+        assert StarStarAdversary(5, [0]).is_adaptive
+
+
+class TestLowerBoundTightness:
+    @pytest.mark.parametrize("k", [2, 4, 8, 16, 32, 64])
+    def test_exactly_k_minus_one_rounds(self, k):
+        n = k + 3
+        adversary = StarStarAdversary(n, [0], seed=k)
+        result = SimulationEngine(
+            adversary, RobotSet.rooted(k, n), DispersionDynamic()
+        ).run()
+        assert result.dispersed
+        assert result.rounds == k - 1
+        assert rounds_match_lower_bound(result)
+
+    @pytest.mark.parametrize("policy", ["min", "max", "multiplicity"])
+    def test_tight_under_every_center_policy(self, policy):
+        k, n = 12, 16
+        adversary = StarStarAdversary(n, [0], seed=1, center_policy=policy)
+        result = SimulationEngine(
+            adversary, RobotSet.rooted(k, n), DispersionDynamic()
+        ).run()
+        assert result.dispersed
+        assert result.rounds == k - 1
+
+    def test_arbitrary_start_takes_k_minus_alpha_rounds(self):
+        k, n = 10, 16
+        positions = {1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 2}
+        positions.update({7: 0, 8: 1, 9: 2, 10: 0})
+        alpha = len(set(positions.values()))
+        adversary = StarStarAdversary(n, sorted(set(positions.values())))
+        result = SimulationEngine(
+            adversary, positions, DispersionDynamic()
+        ).run()
+        assert result.dispersed
+        assert result.rounds == k - alpha
+
+    def test_one_new_node_per_round(self):
+        k, n = 8, 12
+        adversary = StarStarAdversary(n, [0], seed=2)
+        result = SimulationEngine(
+            adversary, RobotSet.rooted(k, n), DispersionDynamic()
+        ).run()
+        assert all(len(r.newly_occupied) == 1 for r in result.records)
+
+    def test_diameter_constant_throughout(self):
+        """The lower bound holds at dynamic diameter <= 3 (paper: D-hat
+        is O(1) in the construction)."""
+        k, n = 10, 14
+        adversary = StarStarAdversary(n, [0], seed=3)
+        engine = SimulationEngine(
+            adversary, RobotSet.rooted(k, n), DispersionDynamic()
+        )
+        result = engine.run()
+        assert result.dispersed
+        for r in range(result.rounds):
+            assert adversary.snapshot(r).diameter() <= 3
+
+    def test_structural_cap_exposed(self):
+        assert StarStarAdversary(5, [0]).max_new_nodes_per_round() == 1

@@ -1,0 +1,244 @@
+"""Tests for the byzantine fault model (paper §VIII future work).
+
+The headline: Algorithm 4 is *not* byzantine-tolerant -- a single
+well-placed byzantine robot can livelock it -- which is exactly why the
+paper lists byzantine faults as an open direction.  These tests pin down
+the mechanism (forgery applied only to the liar's own broadcast, honest
+dispersion judged separately) and the attacks' measured effects.
+"""
+
+import pytest
+
+from repro.core.dispersion import DispersionDynamic
+from repro.graph.dynamic import RandomChurnDynamicGraph, StaticDynamicGraph
+from repro.graph.generators import path_graph, star_graph
+from repro.robots.byzantine import (
+    FakeMultiplicity,
+    HideMultiplicity,
+    ScrambleNeighbors,
+)
+from repro.robots.robot import RobotSet
+from repro.sim.engine import SimulationEngine
+from repro.sim.observation import build_info_packets
+
+
+def run_with_byzantine(policies, n=16, k=10, seed=1, max_rounds=300):
+    return SimulationEngine(
+        RandomChurnDynamicGraph(n, extra_edges=8, seed=seed),
+        RobotSet.rooted(k, n),
+        DispersionDynamic(),
+        byzantine_policies=policies,
+        max_rounds=max_rounds,
+    ).run()
+
+
+class TestEngineMechanics:
+    def test_unknown_byzantine_robot_rejected(self):
+        with pytest.raises(ValueError):
+            run_with_byzantine({99: HideMultiplicity()})
+
+    def test_byzantine_recorded_in_result(self):
+        result = run_with_byzantine({1: ScrambleNeighbors()})
+        assert result.byzantine_robots == (1,)
+
+    def test_no_byzantine_default(self):
+        result = run_with_byzantine(None)
+        assert result.byzantine_robots == ()
+
+    def test_forgery_only_applies_when_representative(self):
+        """A byzantine robot that is not its node's smallest ID does not
+        broadcast, so its forgery never appears."""
+        snap = path_graph(4)
+        # robot 4 (byzantine) co-located with robot 1: rep is 1 (honest).
+        result = SimulationEngine(
+            StaticDynamicGraph(snap),
+            {1: 0, 4: 0, 2: 1, 3: 2},
+            DispersionDynamic(),
+            byzantine_policies={4: HideMultiplicity()},
+            max_rounds=100,
+        ).run()
+        # the honest representative reports the truth; honest robots
+        # resolve the multiplicity normally (robot 5 itself stays put,
+        # occupying node 0 alongside robot 1 -- which is fine: dispersion
+        # is judged on honest robots only).
+        assert result.dispersed
+
+    def test_memory_audit_skips_byzantine(self):
+        result = run_with_byzantine({1: HideMultiplicity()}, max_rounds=5)
+        assert result.max_persistent_bits <= 4  # honest IDs only
+
+
+class TestHideMultiplicity:
+    def test_livelocks_the_algorithm(self):
+        """The byzantine representative of the rooted multiplicity node
+        reports count 1: every honest robot believes dispersion is done
+        and nobody ever moves."""
+        result = run_with_byzantine({1: HideMultiplicity()})
+        assert not result.dispersed
+        assert result.total_moves == 0  # complete silence
+
+    def test_forged_packet_shape(self):
+        snap = star_graph(5)
+        packets = build_info_packets(snap, {1: 0, 2: 0, 3: 1})
+        forged = HideMultiplicity().forge_packet(packets[0], 0)
+        assert forged.robot_ids == (1,)
+        assert forged.representative_id == 1
+        assert not forged.is_multiplicity
+
+    def test_honest_baseline_disperses(self):
+        assert run_with_byzantine(None).dispersed
+
+
+class TestFakeMultiplicity:
+    def test_high_phantoms_waste_paths_but_may_be_tolerated(self):
+        """Phantoms above k steal sliding slots; real robots on other path
+        hops still make progress, so the honest robots can still disperse
+        -- measured, not assumed."""
+        result = run_with_byzantine({1: FakeMultiplicity(phantoms=3)})
+        # Either outcome is legitimate; what must hold: the byzantine node
+        # reports multiplicity forever, so the *algorithm* never halts by
+        # itself -- termination detection would be permanently suppressed.
+        if result.dispersed:
+            assert not result.algorithm_detected_termination
+
+    def test_forged_packet_contains_phantoms(self):
+        snap = star_graph(5)
+        packets = build_info_packets(snap, {1: 0, 3: 1})
+        forged = FakeMultiplicity(phantoms=2).forge_packet(packets[0], 0)
+        assert forged.robot_count == 3
+        assert forged.is_multiplicity
+        assert min(forged.robot_ids) == 1  # representative unchanged
+
+    def test_impersonation_misroutes_real_robots(self):
+        """Phantoms reusing a *distant* real robot's ID make that robot
+        execute a sliding hop computed for the liar's node: misrouted
+        move or invalid port.  (In a rooted start impersonation is
+        vacuous -- every real ID is already co-located -- so the crafted
+        instance places the victim two hops away.)"""
+        from repro.graph.snapshot import GraphSnapshot
+        from repro.sim.engine import SimulationError
+
+        # component {node0 (robots 1 byz + 2 + 6), node1 (robot 4),
+        # node2 (robot 5)}; victim robot 3 isolated on node 6.  The honest
+        # robots 2 and 6 share node0, so the instance is genuinely
+        # undispersed and the algorithm must act.
+        snap = GraphSnapshot.from_edges(
+            7, [(0, 1), (0, 2), (1, 3), (2, 4), (4, 5), (5, 6)]
+        )
+        positions = {1: 0, 2: 0, 6: 0, 4: 1, 5: 2, 3: 6}
+        policy = FakeMultiplicity(
+            phantoms=1, impersonate=True, impersonated_ids=(3,)
+        )
+        # the forged root claims {1, 2, 3, 6}: the two disjoint paths from
+        # the root get movers 2 (real, correct) and 3 (the distant victim
+        # -- stealing the slot the real robot 6 should have had).
+        try:
+            result = SimulationEngine(
+                StaticDynamicGraph(snap),
+                positions,
+                DispersionDynamic(),
+                byzantine_policies={1: policy},
+                max_rounds=60,
+            ).run()
+        except SimulationError:
+            return  # invalid-port crash: the attack observably broke it
+        # If it survived, the victim must have been yanked around or the
+        # run degraded; at minimum the round-0 move set must include the
+        # victim (who, honestly, had nothing to do: its node is dispersed).
+        assert result.records, "instance must execute at least one round"
+        assert 3 in result.records[0].moved_robots
+
+    def test_rejects_zero_phantoms(self):
+        with pytest.raises(ValueError):
+            FakeMultiplicity(phantoms=0)
+
+
+class TestScrambleNeighbors:
+    def test_forged_ports_are_permuted(self):
+        snap = path_graph(5)
+        positions = {1: 1, 2: 0, 3: 2}
+        packets = build_info_packets(snap, positions)
+        true_packet = packets[1]
+        assert len(true_packet.occupied_neighbors) == 2
+        forged = ScrambleNeighbors().forge_packet(true_packet, 0)
+        true_map = {
+            i.representative_id: i.port
+            for i in true_packet.occupied_neighbors
+        }
+        forged_map = {
+            i.representative_id: i.port for i in forged.occupied_neighbors
+        }
+        assert set(true_map) == set(forged_map)
+        assert true_map != forged_map  # ports rotated
+
+    def test_single_neighbor_unchanged(self):
+        snap = path_graph(3)
+        packets = build_info_packets(snap, {1: 0, 2: 1})
+        forged = ScrambleNeighbors().forge_packet(packets[0], 0)
+        assert forged == packets[0]
+
+    def test_run_still_mostly_works_but_costs_moves(self):
+        """Scrambled routing through one node wastes hops; the run should
+        still be measured, whatever the outcome."""
+        result = run_with_byzantine({1: ScrambleNeighbors()})
+        assert result.rounds <= 300
+
+
+class TestCombinedAttacks:
+    def test_two_byzantine_robots(self):
+        result = run_with_byzantine(
+            {1: HideMultiplicity(), 2: ScrambleNeighbors()}
+        )
+        assert result.byzantine_robots == (1, 2)
+        assert not result.dispersed  # hide alone already livelocks
+
+    def test_byzantine_plus_crashes(self):
+        from repro.robots.faults import CrashEvent, CrashPhase, CrashSchedule
+
+        schedule = CrashSchedule(
+            [CrashEvent(1, 3, CrashPhase.BEFORE_COMMUNICATE)]
+        )
+        result = SimulationEngine(
+            RandomChurnDynamicGraph(16, extra_edges=8, seed=2),
+            RobotSet.rooted(10, 16),
+            DispersionDynamic(),
+            byzantine_policies={1: HideMultiplicity()},
+            crash_schedule=schedule,
+            max_rounds=300,
+        ).run()
+        # the byzantine liar crashes at round 3; with it gone the honest
+        # robots recover and disperse.
+        assert result.dispersed
+        assert 1 in result.crashed_robots
+
+
+class TestForgeryStructuralValidity:
+    """Forged packets must stay structurally plausible -- the engine and
+    honest robots treat them as ordinary packets."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_forged_packets_keep_invariants(self, seed):
+        import random as _random
+
+        from repro.graph.generators import random_connected_graph
+        from repro.robots.robot import RobotSet as _RobotSet
+
+        rng = _random.Random(seed)
+        snap = random_connected_graph(12, 8, rng)
+        robots = _RobotSet.arbitrary(8, 12, rng)
+        packets = build_info_packets(snap, robots.positions)
+        for policy in (
+            HideMultiplicity(),
+            FakeMultiplicity(phantoms=2),
+            ScrambleNeighbors(seed=seed),
+        ):
+            for packet in packets.values():
+                forged = policy.forge_packet(packet, round_index=seed)
+                # representative unforgeable
+                assert forged.representative_id == packet.representative_id
+                assert forged.representative_id == min(forged.robot_ids)
+                # degree untouched (physics), neighbor ports within range
+                assert forged.degree == packet.degree
+                for info in forged.occupied_neighbors:
+                    assert 1 <= info.port <= forged.degree
+                    assert info.robot_count == len(info.robot_ids)

@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.n == 40 and args.k == 30
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "--n", "16", "--k", "10", "--rooted"]) == 0
+        out = capsys.readouterr().out
+        assert "dispersed" in out
+
+    def test_run_with_trace(self, capsys):
+        assert main(
+            ["run", "--n", "12", "--k", "8", "--rooted", "--trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "occ_before" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--k-values", "4", "8", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "mean_rounds" in out
+
+    def test_faults(self, capsys):
+        assert main(["faults", "--k", "8", "--seeds", "1",
+                     "--f-values", "0", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "k-f" in out
+
+    def test_lower_bound(self, capsys):
+        assert main(["lower-bound", "--k-values", "4", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "tight" in out and "yes" in out
+
+    def test_figure3(self, capsys):
+        assert main(["figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "component" in out and "disjoint paths" in out
+
+
+class TestNewCommands:
+    def test_ring(self, capsys):
+        assert main(["ring", "--n", "10", "--k", "6", "--budget", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "ring walker" in out and "paper" in out
+
+    def test_export_dot_figure3(self, capsys):
+        assert main(["export-dot", "figure3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("graph figure3 {")
+
+    def test_export_dot_random_to_file(self, tmp_path, capsys):
+        target = tmp_path / "out.dot"
+        assert main(
+            ["export-dot", "random", "--n", "8", "--k", "5",
+             "--output", str(target)]
+        ) == 0
+        assert target.read_text().startswith("graph configuration {")
+
+    def test_campaign_quick(self, capsys):
+        assert main(["campaign", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "9/9 experiments match" in out
+        assert "FAIL" not in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert out.count("yes") >= 4  # every row holds
+
+    def test_run_live(self, capsys):
+        assert main(["run", "--n", "10", "--k", "6", "--rooted",
+                     "--live"]) == 0
+        out = capsys.readouterr().out
+        assert "round   0" in out and "dispersed" in out

@@ -1,0 +1,210 @@
+"""Tests for Algorithm 1: connected component construction from packets.
+
+Covers the paper's Observation 1 (unique node IDs), Observation 2 (2-hop
+separation of distinct components), and Lemma 1 (all robots of a component
+construct the same component).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.figures import build_fig3_instance
+from repro.core.components import (
+    ComponentConstructionError,
+    build_component,
+    partition_into_components,
+)
+from repro.graph.generators import path_graph, random_connected_graph
+from repro.sim.observation import build_info_packets
+
+from tests.conftest import make_packets, random_instance, representative_of
+
+
+class TestBuildComponent:
+    def test_single_occupied_node(self):
+        snap = path_graph(3)
+        packets = make_packets(snap, {1: 0, 2: 0})
+        component = build_component(packets, 1)
+        assert component.representatives == [1]
+        assert component.node(1).robot_count == 2
+        assert component.has_multiplicity
+
+    def test_two_adjacent_occupied_nodes(self):
+        snap = path_graph(3)
+        packets = make_packets(snap, {1: 0, 2: 1})
+        component = build_component(packets, 1)
+        assert component.representatives == [1, 2]
+        assert component.edges() == [(1, 2)]
+        assert component.port_between(1, 2) == 1
+
+    def test_separated_nodes_form_two_components(self):
+        snap = path_graph(5)
+        packets = make_packets(snap, {1: 0, 2: 4})
+        assert build_component(packets, 1).representatives == [1]
+        assert build_component(packets, 2).representatives == [2]
+
+    def test_unknown_representative_raises(self):
+        snap = path_graph(3)
+        packets = make_packets(snap, {1: 0})
+        with pytest.raises(ComponentConstructionError):
+            build_component(packets, 9)
+
+    def test_node_info_fields(self):
+        snap = path_graph(4)
+        packets = make_packets(snap, {3: 1, 1: 2, 2: 2})
+        component = build_component(packets, 3)
+        info = component.node(3)
+        assert info.degree == 2
+        assert info.occupied_ports == (snap.port_of(1, 2),)
+        assert info.has_empty_neighbor
+        assert info.empty_degree == 1
+        assert info.smallest_empty_port == snap.port_of(1, 0)
+        center = component.node(1)
+        assert center.robot_ids == (1, 2)
+        assert center.is_multiplicity
+
+    def test_component_queries(self):
+        instance = build_fig3_instance()
+        packets = make_packets(instance.snapshot, instance.positions)
+        component = build_component(packets, 1)
+        assert component.size == 6
+        assert component.total_robots() == 7
+        assert 1 in component
+        assert 2 not in component
+        assert component.multiplicity_representatives() == [1]
+        assert component.robot_ids() == [1, 3, 5, 7, 12, 13, 14]
+        assert sorted(component.neighbors(1)) == [3, 5]
+
+    def test_port_between_missing_edge_raises(self):
+        snap = path_graph(4)
+        packets = make_packets(snap, {1: 0, 2: 1, 3: 2})
+        component = build_component(packets, 1)
+        with pytest.raises(ComponentConstructionError):
+            component.port_between(1, 3)
+
+
+class TestPartition:
+    def test_fig3_partition(self):
+        instance = build_fig3_instance()
+        packets = make_packets(instance.snapshot, instance.positions)
+        components = partition_into_components(packets)
+        reps = {tuple(c.representatives) for c in components}
+        assert reps == {tuple(c) for c in instance.expected_components}
+
+    def test_partition_covers_all_packets(self):
+        for seed in range(10):
+            snap, positions = random_instance(seed)
+            packets = make_packets(snap, positions)
+            components = partition_into_components(packets)
+            covered = sorted(
+                rep for c in components for rep in c.representatives
+            )
+            assert covered == sorted(p.representative_id for p in packets)
+
+    def test_partition_matches_ground_truth(self):
+        """Algorithm 1's components equal the occupied-subgraph components
+        computed from ground truth."""
+        for seed in range(15):
+            snap, positions = random_instance(seed)
+            packets = make_packets(snap, positions)
+            components = partition_into_components(packets)
+            truth = snap.induced_occupied_components(positions.values())
+            truth_as_reps = {
+                frozenset(representative_of(positions, node) for node in comp)
+                for comp in truth
+            }
+            ours = {frozenset(c.representatives) for c in components}
+            assert ours == truth_as_reps, seed
+
+
+class TestLemma1Agreement:
+    """All robots positioned in the same component build the same one."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement(self, seed):
+        snap, positions = random_instance(seed)
+        packets = make_packets(snap, positions)
+        by_rep = {}
+        for robot_id, node in positions.items():
+            rep = representative_of(positions, node)
+            component = build_component(packets, rep)
+            key = frozenset(component.representatives)
+            for other_key in by_rep:
+                # components either identical or disjoint
+                assert key == other_key or not (key & other_key)
+            by_rep.setdefault(key, component)
+            # the robot's own rep must be in its component
+            assert rep in component
+
+
+class TestObservation2Separation:
+    """Distinct components are >= 2 hops apart in G_r."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_two_hop_separation(self, seed):
+        snap, positions = random_instance(seed)
+        packets = make_packets(snap, positions)
+        components = partition_into_components(packets)
+        node_of_rep = {
+            representative_of(positions, node): node
+            for node in set(positions.values())
+        }
+        for i, a in enumerate(components):
+            for b in components[i + 1:]:
+                for rep_a in a.representatives:
+                    for rep_b in b.representatives:
+                        assert not snap.has_edge(
+                            node_of_rep[rep_a], node_of_rep[rep_b]
+                        )
+
+
+class TestObservation1UniqueIds:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_unique_ids(self, seed):
+        snap, positions = random_instance(seed)
+        packets = make_packets(snap, positions)
+        for component in partition_into_components(packets):
+            reps = component.representatives
+            assert len(reps) == len(set(reps))
+            all_ids = component.robot_ids()
+            assert len(all_ids) == len(set(all_ids))
+
+
+class TestInconsistentPackets:
+    def test_duplicate_representative_rejected(self):
+        snap = path_graph(3)
+        packets = make_packets(snap, {1: 0, 2: 1})
+        with pytest.raises(ComponentConstructionError):
+            build_component(packets + [packets[0]], 1)
+
+
+class TestAlgorithm1ProcessingOrder:
+    """Pseudocode faithfulness: the smallest to-be-processed ID is always
+    taken next (Algorithm 1 line 9)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_trace_takes_local_minimum(self, seed):
+        snap, positions = random_instance(seed)
+        packets = make_packets(snap, positions)
+        seed_rep = min(p.representative_id for p in packets)
+        trace = []
+        component = build_component(
+            packets, seed_rep, processing_trace=trace
+        )
+        assert trace[0] == seed_rep
+        assert sorted(trace) == component.representatives
+        # replay the frontier: each processed node was the minimum of the
+        # to-be-processed set at its time
+        adjacency = {
+            rep: set(component.neighbors(rep))
+            for rep in component.representatives
+        }
+        frontier = {seed_rep}
+        done = set()
+        for rep in trace:
+            assert rep == min(frontier)
+            frontier.discard(rep)
+            done.add(rep)
+            frontier |= adjacency[rep] - done
+        assert not frontier

@@ -1,0 +1,209 @@
+"""Edge-case tests for the core algorithms, each a distinct boundary.
+
+The per-module tests cover the common shapes; this file pins down the
+corners: degenerate components, saturated graphs, extreme multiplicity
+distributions, and the smallest legal instances of each construction.
+"""
+
+import pytest
+
+from repro.core.components import build_component, partition_into_components
+from repro.core.disjoint_paths import compute_disjoint_paths, leaf_node_set
+from repro.core.dispersion import DispersionDynamic, component_moves
+from repro.core.sliding import compute_sliding_moves, truncate_paths
+from repro.core.spanning_tree import build_spanning_tree
+from repro.graph.dynamic import RandomChurnDynamicGraph, StaticDynamicGraph
+from repro.graph.generators import (
+    complete_graph,
+    path_graph,
+    star_graph,
+)
+from repro.robots.robot import RobotSet
+from repro.sim.engine import SimulationEngine
+from repro.sim.observation import build_info_packets
+
+from tests.conftest import make_packets
+
+
+class TestDegenerateComponents:
+    def test_all_robots_one_node_on_clique(self):
+        """Rooted on a clique: the component is a single node whose every
+        port is empty; one robot exits per round via the trivial path."""
+        snap = complete_graph(6)
+        packets = make_packets(snap, {1: 0, 2: 0, 3: 0})
+        component = build_component(packets, 1)
+        assert component.size == 1
+        info = component.node(1)
+        assert info.empty_degree == 5
+        assert info.smallest_empty_port == 1
+        moves = component_moves(component)
+        assert moves == {2: 1}  # exactly one robot steps off
+
+    def test_component_is_whole_graph_when_k_equals_n_spread(self):
+        """k = n with one node doubled and one empty: the component covers
+        all occupied nodes and exactly one leaf borders the empty node."""
+        snap = path_graph(4)
+        positions = {1: 0, 2: 0, 3: 1, 4: 2}  # node 3 empty
+        packets = make_packets(snap, positions)
+        component = build_component(packets, 1)
+        tree = build_spanning_tree(component)
+        assert leaf_node_set(tree, component) == [4]
+        moves = component_moves(component)
+        # full chain slides: 2 from root, 3 forwards, 4 steps onto node 3
+        assert set(moves) == {2, 3, 4}
+
+    def test_every_node_multiplicity(self):
+        """All occupied nodes doubled: root is the smallest rep; sliding
+        still moves exactly one robot per path hop."""
+        snap = path_graph(5)
+        positions = {1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 2}
+        packets = make_packets(snap, positions)
+        component = build_component(packets, 1)
+        assert component.multiplicity_representatives() == [1, 3, 5]
+        tree = build_spanning_tree(component)
+        assert tree.root == 1
+        moves = component_moves(component)
+        # one path 1 -> 3 -> 5, plus the chain is disjoint; at most one
+        # robot departs each node
+        departures = {}
+        for robot_id in moves:
+            node = positions[robot_id]
+            departures[node] = departures.get(node, 0) + 1
+        assert all(count == 1 for count in departures.values())
+
+    def test_two_components_each_trivial(self):
+        """Two far-apart multiplicity nodes each slide one robot."""
+        snap = path_graph(7)
+        positions = {1: 0, 2: 0, 3: 6, 4: 6}
+        packets = make_packets(snap, positions)
+        components = partition_into_components(packets)
+        assert len(components) == 2
+        all_moves = {}
+        for component in components:
+            all_moves.update(component_moves(component))
+        assert set(all_moves) == {2, 4}
+
+
+class TestSaturatedInstances:
+    def test_k_equals_n_fully_occupied_no_leafs_edge(self):
+        """k = n and already dispersed: no multiplicity, no trees, no
+        moves -- the engine reports ALREADY_DISPERSED."""
+        snap = complete_graph(4)
+        result = SimulationEngine(
+            StaticDynamicGraph(snap),
+            {1: 0, 2: 1, 3: 2, 4: 3},
+            DispersionDynamic(),
+        ).run()
+        assert result.rounds == 0
+
+    def test_k_equals_n_one_collision(self):
+        """k = n with exactly one doubled node and one empty node: one
+        round suffices on a clique."""
+        snap = complete_graph(4)
+        result = SimulationEngine(
+            StaticDynamicGraph(snap),
+            {1: 0, 2: 0, 3: 1, 4: 2},
+            DispersionDynamic(),
+        ).run()
+        assert result.dispersed
+        assert result.rounds == 1
+
+    def test_star_center_saturated(self):
+        """All leaves occupied, two robots at the center: the center has
+        no empty neighbor but the leaves do not either -- impossible,
+        since k <= n fails.  The nearest legal case: one leaf free."""
+        snap = star_graph(5)
+        positions = {1: 0, 2: 0, 3: 1, 4: 2, 5: 3}  # leaf 4 free
+        result = SimulationEngine(
+            StaticDynamicGraph(snap), positions, DispersionDynamic()
+        ).run()
+        assert result.dispersed
+        assert result.rounds == 1
+
+
+class TestTruncationBoundaries:
+    def test_exactly_count_minus_one_paths_used(self):
+        """Root with c robots and >= c-1 available paths slides exactly
+        c-1 robots out of the root."""
+        snap = star_graph(9)
+        positions = {1: 0, 2: 0, 3: 0, 4: 0, 5: 1, 6: 2, 7: 3, 8: 4}
+        packets = make_packets(snap, positions)
+        component = build_component(packets, 1)
+        tree = build_spanning_tree(component)
+        paths = compute_disjoint_paths(tree, component)
+        kept = truncate_paths(paths, component.node(tree.root).robot_count)
+        moves = compute_sliding_moves(component, tree, kept)
+        root_departures = [r for r in moves if positions[r] == 0]
+        assert len(root_departures) == min(len(paths), 3)
+        assert 1 not in moves  # the smallest always stays
+
+    def test_more_robots_than_paths(self):
+        """Root multiplicity exceeding the path supply: the extra robots
+        wait their turn."""
+        snap = path_graph(4)
+        positions = {1: 0, 2: 0, 3: 0, 4: 0}
+        result = SimulationEngine(
+            StaticDynamicGraph(snap), positions, DispersionDynamic()
+        ).run()
+        assert result.dispersed
+        # a path graph offers one frontier: exactly one settles per round
+        assert result.rounds == 3
+
+
+class TestDispersionDecisionEdgeCases:
+    def test_settled_robot_in_multiplicity_world_stays(self):
+        """A robot alone on its node, not on any selected path, stays even
+        while multiplicities exist elsewhere."""
+        snap = path_graph(6)
+        positions = {1: 0, 2: 0, 3: 4}
+        result = SimulationEngine(
+            StaticDynamicGraph(snap), positions, DispersionDynamic()
+        ).run()
+        assert result.dispersed
+        assert result.final_positions[3] == 4  # never disturbed
+
+    def test_root_node_never_vacated(self):
+        """The guarantee is about the *node*, not the robot: robot 1 may
+        later be slid along another path, but node 0 (the original root)
+        stays occupied forever in a fault-free run."""
+        for seed in range(5):
+            dyn = RandomChurnDynamicGraph(14, extra_edges=6, seed=seed)
+            result = SimulationEngine(
+                dyn, RobotSet.rooted(9, 14), DispersionDynamic()
+            ).run()
+            assert result.dispersed
+            for record in result.records:
+                assert 0 in record.occupied_after
+            assert 0 in set(result.final_positions.values())
+
+    def test_min_nontrivial_instance(self):
+        """The absolute smallest DISPERSION instance: k = n = 2."""
+        snap = path_graph(2)
+        result = SimulationEngine(
+            StaticDynamicGraph(snap), {1: 0, 2: 0}, DispersionDynamic()
+        ).run()
+        assert result.dispersed
+        assert result.rounds == 1
+        assert result.final_positions == {1: 0, 2: 1}
+
+
+class TestPacketEdgeCases:
+    def test_isolated_occupied_node_packet(self):
+        """A degree-0 node cannot occur in a connected graph with n >= 2,
+        but n = 1 is legal: one node, one robot, zero ports."""
+        from repro.graph.snapshot import GraphSnapshot
+
+        snap = GraphSnapshot.from_edges(1, [])
+        packets = build_info_packets(snap, {1: 0})
+        assert packets[0].degree == 0
+        assert packets[0].empty_ports == ()
+
+    def test_n1_k1_run(self):
+        from repro.graph.snapshot import GraphSnapshot
+
+        snap = GraphSnapshot.from_edges(1, [])
+        result = SimulationEngine(
+            StaticDynamicGraph(snap), {1: 0}, DispersionDynamic()
+        ).run()
+        assert result.dispersed
+        assert result.rounds == 0

@@ -1,0 +1,209 @@
+"""Tests for Algorithm 3: disjoint root-path selection.
+
+Covers Lemma 3 (non-emptiness), Lemma 4 (agreement/determinism), Lemma 5
+(every selected leaf has an empty neighbor), Definition 5 and Observation 4
+(disjointness), plus the trivial root path.
+"""
+
+import pytest
+
+from repro.analysis.figures import build_fig3_instance
+from repro.core.components import build_component, partition_into_components
+from repro.core.disjoint_paths import (
+    RootPath,
+    check_pairwise_disjoint,
+    compute_disjoint_paths,
+    leaf_node_set,
+)
+from repro.core.spanning_tree import build_spanning_tree
+from repro.graph.generators import path_graph, star_graph
+from repro.sim.observation import build_info_packets
+
+from tests.conftest import make_packets, random_instance
+
+
+def paths_for(snapshot, positions, rep):
+    packets = make_packets(snapshot, positions)
+    component = build_component(packets, rep)
+    tree = build_spanning_tree(component)
+    assert tree is not None
+    return component, tree, compute_disjoint_paths(tree, component)
+
+
+class TestRootPathType:
+    def test_fields(self):
+        path = RootPath((1, 4, 7))
+        assert path.root == 1 and path.leaf == 7
+        assert not path.is_trivial
+        assert path.interior_and_leaf == (4, 7)
+        assert path.edges() == [(1, 4), (4, 7)]
+        assert len(path) == 3
+
+    def test_trivial(self):
+        path = RootPath((5,))
+        assert path.is_trivial
+        assert path.root == path.leaf == 5
+        assert path.edges() == []
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RootPath(())
+
+    def test_rejects_repeats(self):
+        with pytest.raises(ValueError):
+            RootPath((1, 2, 1))
+
+
+class TestLeafNodeSet:
+    def test_rooted_single_node(self):
+        """A lone multiplicity node with empty neighbors is its own leaf."""
+        snap = star_graph(5)
+        _, tree, paths = paths_for(snap, {1: 0, 2: 0, 3: 0}, 1)
+        component = build_component(
+            make_packets(snap, {1: 0, 2: 0, 3: 0}), 1
+        )
+        assert leaf_node_set(tree, component) == [1]
+        assert paths == [RootPath((1,))]
+
+    def test_only_nodes_with_empty_neighbors(self):
+        snap = path_graph(5)
+        positions = {1: 0, 2: 0, 3: 1, 4: 2}
+        component, tree, _ = paths_for(snap, positions, 1)
+        # node0 (rep 1): neighbor node1 occupied -> not a leaf
+        # node1 (rep 3): neighbors node0, node2 occupied -> not a leaf
+        # node2 (rep 4): neighbor node3 empty -> leaf
+        assert leaf_node_set(tree, component) == [4]
+
+    def test_sorted_ascending(self):
+        instance = build_fig3_instance()
+        packets = make_packets(instance.snapshot, instance.positions)
+        for component in partition_into_components(packets):
+            tree = build_spanning_tree(component)
+            leaves = leaf_node_set(tree, component)
+            assert leaves == sorted(leaves)
+
+
+class TestLemma3NonEmpty:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_multiplicity_component_has_a_path(self, seed):
+        snap, positions = random_instance(seed)
+        if len(set(positions.values())) == snap.n:
+            pytest.skip("no empty node: k == n dispersed-ish instance")
+        packets = make_packets(snap, positions)
+        for component in partition_into_components(packets):
+            tree = build_spanning_tree(component)
+            if tree is None:
+                continue
+            paths = compute_disjoint_paths(tree, component)
+            assert len(paths) >= 1, seed
+
+
+class TestLemma5LeafHasEmptyNeighbor:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_every_leaf_has_empty_neighbor(self, seed):
+        snap, positions = random_instance(seed)
+        packets = make_packets(snap, positions)
+        for component in partition_into_components(packets):
+            tree = build_spanning_tree(component)
+            if tree is None:
+                continue
+            for path in compute_disjoint_paths(tree, component):
+                assert component.node(path.leaf).has_empty_neighbor
+
+
+class TestDefinition5Disjointness:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_pairwise_disjoint(self, seed):
+        snap, positions = random_instance(seed)
+        packets = make_packets(snap, positions)
+        for component in partition_into_components(packets):
+            tree = build_spanning_tree(component)
+            if tree is None:
+                continue
+            paths = compute_disjoint_paths(tree, component)
+            assert check_pairwise_disjoint(paths)
+
+    def test_observation4_node_in_at_most_one_path(self):
+        """Any non-root node appears in at most one selected path."""
+        for seed in range(8):
+            snap, positions = random_instance(seed)
+            packets = make_packets(snap, positions)
+            for component in partition_into_components(packets):
+                tree = build_spanning_tree(component)
+                if tree is None:
+                    continue
+                seen = set()
+                for path in compute_disjoint_paths(tree, component):
+                    for node in path.interior_and_leaf:
+                        assert node not in seen
+                        seen.add(node)
+
+    def test_check_pairwise_disjoint_detects_overlap(self):
+        assert not check_pairwise_disjoint(
+            [RootPath((1, 2, 3)), RootPath((1, 2, 4))]
+        )
+        assert not check_pairwise_disjoint(
+            [RootPath((1, 3)), RootPath((1, 2, 3))]
+        )
+        assert check_pairwise_disjoint(
+            [RootPath((1, 2)), RootPath((1, 3))]
+        )
+
+
+class TestOrderingAndGreediness:
+    def test_paths_in_increasing_leaf_order(self):
+        for seed in range(8):
+            snap, positions = random_instance(seed)
+            packets = make_packets(snap, positions)
+            for component in partition_into_components(packets):
+                tree = build_spanning_tree(component)
+                if tree is None:
+                    continue
+                leaves = [
+                    p.leaf for p in compute_disjoint_paths(tree, component)
+                ]
+                assert leaves == sorted(leaves)
+
+    def test_star_center_multiplicity_selects_many_paths(self):
+        """On a star with the multiplicity at the center, every occupied
+        leaf with an empty sibling gives a disjoint path."""
+        snap = star_graph(7)
+        positions = {1: 0, 2: 0, 3: 1, 4: 2, 5: 3}
+        component, tree, paths = paths_for(snap, positions, 1)
+        # center has empty neighbors (nodes 4,5,6) -> trivial path [1];
+        # occupied leaves have no empty neighbors -> no other leaf nodes.
+        assert [list(p.nodes) for p in paths] == [[1]]
+
+    def test_line_with_two_frontiers(self):
+        """Multiplicity in the middle of a path: both directions give
+        disjoint paths."""
+        snap = path_graph(7)
+        positions = {3: 2, 1: 3, 2: 3, 4: 4}  # occupied nodes 2,3,4
+        component, tree, paths = paths_for(snap, positions, 1)
+        assert tree.root == 1
+        leaf_reps = {p.leaf for p in paths}
+        assert leaf_reps == {3, 4}  # node2 (rep 3) and node4 (rep 4)
+        assert check_pairwise_disjoint(paths)
+
+
+class TestLemma4Agreement:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_paths_from_any_member(self, seed):
+        snap, positions = random_instance(seed)
+        packets = make_packets(snap, positions)
+        by_component = {}
+        for packet in packets:
+            rep = packet.representative_id
+            component = build_component(packets, rep)
+            tree = build_spanning_tree(component)
+            if tree is None:
+                continue
+            paths = tuple(
+                tuple(p.nodes)
+                for p in compute_disjoint_paths(tree, component)
+            )
+            key = frozenset(component.representatives)
+            if key in by_component:
+                assert by_component[key] == paths
+            else:
+                by_component[key] = paths

@@ -1,0 +1,68 @@
+"""Tests for the Graphviz DOT export."""
+
+from repro.analysis.dot import (
+    components_to_dot,
+    configuration_to_dot,
+    figure3_dot,
+)
+from repro.analysis.figures import build_fig3_instance
+from repro.core.components import partition_into_components
+from repro.core.spanning_tree import build_spanning_tree
+from repro.graph.generators import path_graph
+from repro.sim.observation import build_info_packets
+
+
+class TestConfigurationDot:
+    def test_basic_structure(self):
+        dot = configuration_to_dot(path_graph(3), {1: 0, 2: 0, 3: 1})
+        assert dot.startswith("graph configuration {")
+        assert dot.rstrip().endswith("}")
+        assert "doublecircle" in dot  # the multiplicity node
+        assert "n0 -- n1" in dot
+        assert 'label="1/1"' in dot or "/1" in dot  # port labels
+
+    def test_empty_nodes_unfilled(self):
+        dot = configuration_to_dot(path_graph(3), {1: 0})
+        assert dot.count("style=filled") == 1
+
+    def test_ports_can_be_hidden(self):
+        dot = configuration_to_dot(
+            path_graph(3), {1: 0}, show_ports=False
+        )
+        assert "/" not in dot
+
+    def test_custom_name(self):
+        dot = configuration_to_dot(path_graph(2), {1: 0}, name="round7")
+        assert "graph round7 {" in dot
+
+
+class TestComponentsDot:
+    def test_colors_and_tree_edges(self):
+        instance = build_fig3_instance()
+        packets = list(
+            build_info_packets(instance.snapshot, instance.positions).values()
+        )
+        components = partition_into_components(packets)
+        trees = {}
+        for component in components:
+            tree = build_spanning_tree(component)
+            trees[tree.root] = tree
+        dot = components_to_dot(
+            instance.snapshot, instance.positions, components, trees=trees
+        )
+        assert "forestgreen" in dot and "firebrick" in dot
+        assert "penwidth=2" in dot  # tree edges bold
+        assert "style=dashed" in dot  # non-tree edges dashed
+
+    def test_figure3_dot_complete(self):
+        dot = figure3_dot()
+        assert dot.startswith("graph figure3 {")
+        # 15 nodes all present
+        for node in range(15):
+            assert f"n{node} [" in dot
+        # the selected sliding path is drawn extra bold
+        assert "penwidth=3" in dot
+
+    def test_dot_is_balanced(self):
+        dot = figure3_dot()
+        assert dot.count("{") == dot.count("}")

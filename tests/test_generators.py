@@ -1,0 +1,214 @@
+"""Tests for the graph-family generators."""
+
+import random
+
+import pytest
+
+from repro.graph import generators as gen
+
+
+class TestPath:
+    def test_structure(self):
+        snap = gen.path_graph(5)
+        assert snap.n == 5 and snap.num_edges == 4
+        assert snap.degree(0) == snap.degree(4) == 1
+        assert all(snap.degree(v) == 2 for v in (1, 2, 3))
+
+    def test_single_node(self):
+        assert gen.path_graph(1).num_edges == 0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            gen.path_graph(0)
+
+
+class TestCycle:
+    def test_structure(self):
+        snap = gen.cycle_graph(6)
+        assert snap.num_edges == 6
+        assert all(snap.degree(v) == 2 for v in snap.nodes())
+        assert snap.is_connected()
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            gen.cycle_graph(2)
+
+
+class TestStar:
+    def test_structure(self):
+        snap = gen.star_graph(7)
+        assert snap.degree(0) == 6
+        assert all(snap.degree(v) == 1 for v in range(1, 7))
+
+    def test_custom_center(self):
+        snap = gen.star_graph(5, center=3)
+        assert snap.degree(3) == 4
+
+    def test_rejects_bad_center(self):
+        with pytest.raises(ValueError):
+            gen.star_graph(3, center=5)
+
+
+class TestComplete:
+    def test_structure(self):
+        snap = gen.complete_graph(5)
+        assert snap.num_edges == 10
+        assert all(snap.degree(v) == 4 for v in snap.nodes())
+
+    def test_diameter_one(self):
+        assert gen.complete_graph(4).diameter() == 1
+
+
+class TestGrid:
+    def test_counts(self):
+        snap = gen.grid_graph(3, 4)
+        assert snap.n == 12
+        assert snap.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert snap.is_connected()
+
+    def test_corner_degrees(self):
+        snap = gen.grid_graph(3, 3)
+        assert snap.degree(0) == 2
+        assert snap.degree(4) == 4  # center
+
+    def test_one_by_one(self):
+        assert gen.grid_graph(1, 1).n == 1
+
+
+class TestTorus:
+    def test_regular(self):
+        snap = gen.torus_graph(3, 4)
+        assert all(snap.degree(v) == 4 for v in snap.nodes())
+        assert snap.is_connected()
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            gen.torus_graph(2, 4)
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4])
+    def test_regular(self, dim):
+        snap = gen.hypercube_graph(dim)
+        assert snap.n == 2 ** dim
+        assert all(snap.degree(v) == dim for v in snap.nodes())
+        assert snap.is_connected()
+
+    def test_edge_count(self):
+        assert gen.hypercube_graph(3).num_edges == 12
+
+
+class TestLollipopBarbell:
+    def test_lollipop(self):
+        snap = gen.lollipop_graph(4, 3)
+        assert snap.n == 7
+        assert snap.is_connected()
+        assert snap.num_edges == 6 + 3
+
+    def test_barbell(self):
+        snap = gen.barbell_graph(3, 2)
+        assert snap.n == 8
+        assert snap.is_connected()
+        assert snap.num_edges == 3 + 3 + 3
+
+    def test_lollipop_no_path(self):
+        snap = gen.lollipop_graph(3, 0)
+        assert snap.n == 3 and snap.num_edges == 3
+
+
+class TestRandomFamilies:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_tree(self, seed):
+        snap = gen.random_tree(12, random.Random(seed))
+        assert snap.num_edges == 11
+        assert snap.is_connected()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_connected(self, seed):
+        rng = random.Random(seed)
+        snap = gen.random_connected_graph(15, 10, rng)
+        assert snap.is_connected()
+        assert 14 <= snap.num_edges <= 24
+
+    def test_random_connected_saturates(self):
+        snap = gen.random_connected_graph(4, 100, random.Random(0))
+        assert snap.num_edges == 6  # K_4
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_regularish(self, seed):
+        snap = gen.random_regularish_graph(20, 4, random.Random(seed))
+        assert snap.is_connected()
+        assert all(snap.degree(v) >= 2 for v in snap.nodes())
+        assert snap.max_degree() <= 5
+
+    def test_tree_single_node(self):
+        assert gen.random_tree(1, random.Random(0)).n == 1
+
+
+class TestTwoStars:
+    def test_figure2_shape(self):
+        snap = gen.two_stars_graph(0, [1, 2, 3], 4, [5, 6], 7)
+        assert snap.is_connected()
+        assert snap.diameter() == 3
+        assert snap.has_edge(0, 4)
+        assert snap.degree(0) == 4  # 3 leaves + center edge
+
+    def test_rejects_bad_partition(self):
+        with pytest.raises(ValueError):
+            gen.two_stars_graph(0, [1], 2, [2], 4)
+
+
+class TestFamilyRegistry:
+    @pytest.mark.parametrize("name", sorted(gen.FAMILY_BUILDERS))
+    def test_builds_connected(self, name):
+        snap = gen.build_family(name, 10, random.Random(7))
+        assert snap.is_connected()
+        assert snap.n >= 10 or name == "cycle"
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            gen.build_family("nope", 5, random.Random(0))
+
+
+class TestLaterFamilies:
+    def test_wheel(self):
+        snap = gen.wheel_graph(7)
+        assert snap.degree(0) == 6
+        assert all(snap.degree(v) == 3 for v in range(1, 7))
+        assert snap.is_connected()
+        assert snap.num_edges == 12
+
+    def test_wheel_rejects_small(self):
+        with pytest.raises(ValueError):
+            gen.wheel_graph(3)
+
+    def test_complete_bipartite(self):
+        snap = gen.complete_bipartite_graph(3, 4)
+        assert snap.n == 7 and snap.num_edges == 12
+        assert all(snap.degree(v) == 4 for v in range(3))
+        assert all(snap.degree(v) == 3 for v in range(3, 7))
+
+    def test_complete_bipartite_rejects_empty_side(self):
+        with pytest.raises(ValueError):
+            gen.complete_bipartite_graph(0, 3)
+
+    def test_binary_tree(self):
+        snap = gen.binary_tree_graph(7)
+        assert snap.num_edges == 6
+        assert snap.degree(0) == 2
+        assert snap.is_connected()
+
+    def test_caterpillar(self):
+        snap = gen.caterpillar_graph(4, 2)
+        assert snap.n == 12
+        assert snap.is_connected()
+        assert snap.degree(0) == 3  # spine end: 1 spine + 2 legs
+
+    def test_broom(self):
+        snap = gen.broom_graph(5, 6)
+        assert snap.n == 11
+        assert snap.degree(4) == 7  # last handle node: 1 + 6 bristles
+        assert snap.is_connected()
+
+    def test_broom_no_bristles(self):
+        assert gen.broom_graph(4, 0).num_edges == 3

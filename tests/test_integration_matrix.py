@@ -1,0 +1,130 @@
+"""Integration matrix: the full cross product of run configurations.
+
+Every cell runs the paper's algorithm end to end and checks the guarantees
+that apply to that cell.  The matrix axes:
+
+* dynamics: static random graph / random churn / pure tree churn /
+  T-interval churn / dynamic ring / star-star adversary
+* start: rooted / few clusters / near-dispersed
+* fleet: small (k=6), medium (k=18), near-full (k = n)
+* mode: memoized / faithful, with and without per-round records
+
+This file intentionally trades depth for breadth -- the per-module tests
+prove the pieces, this one proves the combinations keep composing.
+"""
+
+import random
+
+import pytest
+
+from repro.adversary.star_lower_bound import StarStarAdversary
+from repro.core.dispersion import DispersionDynamic
+from repro.graph.dynamic import (
+    RandomChurnDynamicGraph,
+    StaticDynamicGraph,
+    TIntervalChurnDynamicGraph,
+)
+from repro.graph.generators import random_connected_graph
+from repro.graph.rings import RingDynamicGraph
+from repro.robots.robot import RobotSet
+from repro.sim.engine import SimulationEngine
+
+N = 24
+
+DYNAMICS = {
+    "static": lambda seed: StaticDynamicGraph(
+        random_connected_graph(N, N, random.Random(seed))
+    ),
+    "churn": lambda seed: RandomChurnDynamicGraph(
+        N, extra_edges=N // 2, seed=seed
+    ),
+    "tree_churn": lambda seed: RandomChurnDynamicGraph(
+        N, extra_edges=0, seed=seed
+    ),
+    "t_interval": lambda seed: TIntervalChurnDynamicGraph(
+        N, interval=3, extra_edges=6, seed=seed
+    ),
+    "ring": lambda seed: RingDynamicGraph(
+        N, mode="random", removal_probability=0.8, seed=seed
+    ),
+    "star_adversary": lambda seed: StarStarAdversary(N, [0], seed=seed),
+}
+
+STARTS = {
+    "rooted": lambda k, seed: RobotSet.rooted(k, N),
+    "clusters": lambda k, seed: RobotSet.arbitrary(
+        k, N, random.Random(seed), num_occupied=max(1, k // 4)
+    ),
+    "near_dispersed": lambda k, seed: RobotSet.arbitrary(
+        k, N, random.Random(seed), num_occupied=max(1, k - 1)
+    ),
+}
+
+FLEETS = {"small": 6, "medium": 18, "full": N}
+
+
+@pytest.mark.parametrize("dynamics_name", sorted(DYNAMICS))
+@pytest.mark.parametrize("start_name", sorted(STARTS))
+@pytest.mark.parametrize("fleet_name", sorted(FLEETS))
+def test_cell(dynamics_name, start_name, fleet_name):
+    k = FLEETS[fleet_name]
+    # a stable seed (hash() of strings is randomized per process)
+    import zlib
+
+    seed = zlib.crc32(
+        f"{dynamics_name}:{start_name}:{fleet_name}".encode()
+    ) % 1000
+    robots = STARTS[start_name](k, seed)
+    result = SimulationEngine(
+        DYNAMICS[dynamics_name](seed),
+        robots,
+        DispersionDynamic(),
+        max_rounds=4 * k + 32,
+    ).run()
+    assert result.dispersed, (dynamics_name, start_name, fleet_name)
+    alpha = len(robots.occupied_nodes())
+    assert result.rounds <= k - alpha + (0 if k > alpha else 1), (
+        dynamics_name, start_name, fleet_name, result.rounds,
+    )
+    assert len(set(result.final_positions.values())) == k
+    # fault-free monotone progress in every cell
+    for record in result.records:
+        assert record.occupied_before <= record.occupied_after
+
+
+@pytest.mark.parametrize("dynamics_name", ["churn", "ring", "star_adversary"])
+def test_cell_faithful_mode_agrees(dynamics_name):
+    k, seed = 10, 77
+    robots = RobotSet.rooted(k, N)
+
+    def one(faithful):
+        return SimulationEngine(
+            DYNAMICS[dynamics_name](seed),
+            robots,
+            DispersionDynamic(faithful=faithful),
+            collect_records=False,
+        ).run()
+
+    fast, faithful = one(False), one(True)
+    assert fast.rounds == faithful.rounds
+    assert fast.final_positions == faithful.final_positions
+
+
+@pytest.mark.parametrize("dynamics_name", sorted(DYNAMICS))
+def test_cell_with_faults(dynamics_name):
+    from repro.robots.faults import CrashSchedule
+
+    k, seed = 12, 55
+    schedule = CrashSchedule.random_schedule(
+        k, 3, k // 2, random.Random(seed)
+    )
+    result = SimulationEngine(
+        DYNAMICS[dynamics_name](seed),
+        RobotSet.rooted(k, N),
+        DispersionDynamic(),
+        crash_schedule=schedule,
+        max_rounds=4 * k + 32,
+    ).run()
+    assert result.dispersed, dynamics_name
+    survivors = result.final_positions
+    assert len(set(survivors.values())) == len(survivors)

@@ -1,0 +1,149 @@
+"""Tests for post-hoc run invariant verification."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.dispersion import DispersionDynamic
+from repro.graph.dynamic import RandomChurnDynamicGraph
+from repro.graph.generators import path_graph
+from repro.robots.faults import CrashSchedule
+from repro.robots.robot import RobotSet
+from repro.sim.engine import SimulationEngine
+from repro.sim.invariants import (
+    check_moves_cross_edges,
+    check_occupied_monotone,
+    check_progress_every_round,
+    check_robots_conserved,
+    check_round_indices,
+    verify_run,
+)
+from repro.sim.scheduling import RandomSubsetActivation
+
+
+def canonical_run(seed=0, k=12, n=18, **kwargs):
+    dyn = RandomChurnDynamicGraph(n, extra_edges=n // 2, seed=seed)
+    return SimulationEngine(
+        dyn,
+        RobotSet.rooted(k, n),
+        DispersionDynamic(),
+        collect_snapshots=True,
+        **kwargs,
+    ).run()
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_canonical_run_is_clean(self, seed):
+        result = canonical_run(seed)
+        assert verify_run(result) == []
+
+    def test_arbitrary_start_clean(self):
+        n, k = 20, 14
+        dyn = RandomChurnDynamicGraph(n, extra_edges=8, seed=3)
+        robots = RobotSet.arbitrary(k, n, random.Random(3))
+        result = SimulationEngine(
+            dyn, robots, DispersionDynamic(), collect_snapshots=True
+        ).run()
+        assert verify_run(result) == []
+
+
+class TestFaultyRuns:
+    def test_paper_invariants_rejected_for_faulty(self):
+        schedule = CrashSchedule.random_schedule(12, 3, 4, random.Random(1))
+        result = canonical_run(1, crash_schedule=schedule)
+        with pytest.raises(ValueError):
+            verify_run(result)
+
+    def test_model_invariants_hold_for_faulty(self):
+        schedule = CrashSchedule.random_schedule(12, 3, 4, random.Random(2))
+        result = canonical_run(2, crash_schedule=schedule)
+        assert verify_run(result, expect_paper_invariants=False) == []
+
+
+class TestSemiSyncRuns:
+    def test_model_holds_paper_may_break(self):
+        dyn = RandomChurnDynamicGraph(16, extra_edges=6, seed=5)
+        result = SimulationEngine(
+            dyn,
+            RobotSet.rooted(10, 16),
+            DispersionDynamic(),
+            activation_schedule=RandomSubsetActivation(0.5, seed=5),
+            collect_snapshots=True,
+            max_rounds=4000,
+        ).run()
+        assert result.dispersed
+        assert verify_run(result, expect_paper_invariants=False) == []
+        # the Lemma 7 family is expected to be violated somewhere under
+        # sparse activation (the E5 finding)
+        lemma7 = check_occupied_monotone(result) + check_progress_every_round(
+            result
+        )
+        assert lemma7  # at least one violation recorded
+
+
+class TestDetectors:
+    """Hand-corrupted records must trip the checkers."""
+
+    def corrupted(self, mutate):
+        result = canonical_run(7)
+        record = result.records[0]
+        result.records[0] = dataclasses.replace(record, **mutate(record))
+        return result
+
+    def test_round_index_corruption(self):
+        result = self.corrupted(lambda r: {"round_index": 5})
+        assert check_round_indices(result)
+
+    def test_teleport_detected(self):
+        def mutate(record):
+            robot = min(record.positions_after)
+            positions = dict(record.positions_after)
+            # move the robot to a node that is never adjacent: itself + 2
+            # may be adjacent, so pick a node with no edge in the snapshot
+            snapshot = record.snapshot
+            current = record.positions_before[robot]
+            non_neighbors = [
+                v
+                for v in snapshot.nodes()
+                if v != current and not snapshot.has_edge(current, v)
+            ]
+            positions[robot] = non_neighbors[0]
+            return {"positions_after": positions}
+
+        result = self.corrupted(mutate)
+        assert check_moves_cross_edges(result)
+
+    def test_vanishing_robot_detected(self):
+        def mutate(record):
+            positions = dict(record.positions_after)
+            positions.pop(min(positions))
+            return {"positions_after": positions}
+
+        result = self.corrupted(mutate)
+        assert check_robots_conserved(result)
+
+    def test_missing_snapshot_reported(self):
+        result = self.corrupted(lambda r: {"snapshot": None})
+        assert any(
+            "collect_snapshots" in v for v in check_moves_cross_edges(result)
+        )
+
+    def test_vacated_node_detected(self):
+        def mutate(record):
+            return {
+                "occupied_after": frozenset(
+                    list(record.occupied_after)[:-1]
+                ) - record.occupied_before
+            }
+
+        result = self.corrupted(mutate)
+        assert check_occupied_monotone(result)
+
+    def test_zero_progress_detected(self):
+        def mutate(record):
+            return {"occupied_after": record.occupied_before}
+
+        result = self.corrupted(mutate)
+        assert check_progress_every_round(result)

@@ -1,0 +1,173 @@
+"""Tests for the Communicate phase: packets and observations."""
+
+import pytest
+
+from repro.graph.generators import path_graph, star_graph
+from repro.graph.snapshot import GraphSnapshot
+from repro.sim.observation import (
+    CommunicationModel,
+    InfoPacket,
+    NeighborInfo,
+    build_info_packets,
+    build_observations,
+)
+
+
+def line_positions():
+    """path 0-1-2-3-4 with robots: node0 {1,4}, node1 {2}, node3 {3}."""
+    return path_graph(5), {1: 0, 4: 0, 2: 1, 3: 3}
+
+
+class TestNeighborInfo:
+    def test_rejects_count_mismatch(self):
+        with pytest.raises(ValueError):
+            NeighborInfo(1, 2, 2, (2,))
+
+    def test_rejects_wrong_representative(self):
+        with pytest.raises(ValueError):
+            NeighborInfo(1, 5, 2, (2, 5))
+
+
+class TestInfoPacketProperties:
+    def test_representative_is_smallest(self):
+        snap, pos = line_positions()
+        packets = build_info_packets(snap, pos)
+        assert packets[0].representative_id == 1
+        assert packets[0].robot_ids == (1, 4)
+        assert packets[0].robot_count == 2
+        assert packets[0].is_multiplicity
+
+    def test_degree_recorded(self):
+        snap, pos = line_positions()
+        packets = build_info_packets(snap, pos)
+        assert packets[0].degree == 1
+        assert packets[1].degree == 2
+
+    def test_occupied_neighbors(self):
+        snap, pos = line_positions()
+        packets = build_info_packets(snap, pos)
+        # node1's neighbors: node0 (occupied, rep 1) and node2 (empty)
+        infos = packets[1].occupied_neighbors
+        assert len(infos) == 1
+        assert infos[0].representative_id == 1
+        assert infos[0].robot_count == 2
+        assert infos[0].port == snap.port_of(1, 0)
+
+    def test_empty_ports_derived(self):
+        snap, pos = line_positions()
+        packets = build_info_packets(snap, pos)
+        # node3 neighbors: node2 (empty), node4 (empty) -> both ports empty
+        assert packets[3].empty_ports == (1, 2)
+        assert packets[3].smallest_empty_port == 1
+        # node0's only neighbor node1 is occupied
+        assert packets[0].empty_ports == ()
+        assert packets[0].smallest_empty_port is None
+
+    def test_neighbor_by_port(self):
+        snap, pos = line_positions()
+        packets = build_info_packets(snap, pos)
+        port = snap.port_of(1, 0)
+        assert packets[1].neighbor_by_port(port).representative_id == 1
+        empty_port = snap.port_of(1, 2)
+        assert packets[1].neighbor_by_port(empty_port) is None
+
+    def test_without_neighborhood_knowledge(self):
+        snap, pos = line_positions()
+        packets = build_info_packets(snap, pos, neighborhood_knowledge=False)
+        for packet in packets.values():
+            assert packet.occupied_neighbors == ()
+        # degree still known (a robot knows its own ports)
+        assert packets[1].degree == 2
+
+    def test_packets_contain_no_node_indices(self):
+        """Anonymity: packets reference nodes only via representative IDs."""
+        snap = star_graph(6)
+        positions = {1: 5, 2: 5, 3: 0}
+        packets = build_info_packets(snap, positions)
+        packet = packets[5]
+        assert packet.representative_id == 1
+        assert all(
+            info.representative_id in (3,)
+            for info in packet.occupied_neighbors
+        )
+
+
+class TestObservations:
+    def test_global_delivers_all_packets(self):
+        snap, pos = line_positions()
+        obs = build_observations(snap, pos, 0)
+        for robot_id in pos:
+            assert len(obs[robot_id].packets) == 3
+            reps = [p.representative_id for p in obs[robot_id].packets]
+            assert reps == sorted(reps) == [1, 2, 3]
+
+    def test_local_delivers_own_only(self):
+        snap, pos = line_positions()
+        obs = build_observations(
+            snap, pos, 0, communication=CommunicationModel.LOCAL
+        )
+        assert obs[2].packets == (obs[2].own_packet,)
+        assert obs[1].own_packet.representative_id == 1
+
+    def test_entry_ports_attached(self):
+        snap, pos = line_positions()
+        obs = build_observations(snap, pos, 3, entry_ports={2: 1})
+        assert obs[2].entry_port == 1
+        assert obs[1].entry_port is None
+
+    def test_round_and_robot_recorded(self):
+        snap, pos = line_positions()
+        obs = build_observations(snap, pos, 9)
+        assert obs[3].round_index == 9
+        assert obs[3].robot_id == 3
+
+    def test_sees_multiplicity(self):
+        snap, pos = line_positions()
+        obs = build_observations(snap, pos, 0)
+        assert obs[3].sees_multiplicity
+        dispersed = {1: 0, 2: 1, 3: 2}
+        obs2 = build_observations(snap, dispersed, 0)
+        assert not obs2[1].sees_multiplicity
+
+    def test_local_robot_may_not_see_remote_multiplicity(self):
+        snap, pos = line_positions()
+        obs = build_observations(
+            snap, pos, 0, communication=CommunicationModel.LOCAL
+        )
+        # robot 3 sits alone at node 3 with no occupied neighbors: its only
+        # packet shows no multiplicity even though one exists at node 0.
+        assert not obs[3].sees_multiplicity
+
+    def test_packet_index(self):
+        snap, pos = line_positions()
+        obs = build_observations(snap, pos, 0)
+        index = obs[1].packet_index
+        assert set(index) == {1, 2, 3}
+        assert index[1].robot_count == 2
+
+    def test_neighborhood_flag_propagates(self):
+        snap, pos = line_positions()
+        obs = build_observations(snap, pos, 0, neighborhood_knowledge=False)
+        assert not obs[1].neighborhood_knowledge
+        assert obs[1].own_packet.occupied_neighbors == ()
+
+
+class TestPacketConsistency:
+    def test_mutual_neighbor_reports(self):
+        """If u reports v as an occupied neighbor, v reports u back."""
+        snap = GraphSnapshot.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        positions = {1: 0, 2: 1, 3: 2, 4: 3}
+        packets = build_info_packets(snap, positions)
+        by_rep = {p.representative_id: p for p in packets.values()}
+        for packet in packets.values():
+            for info in packet.occupied_neighbors:
+                reverse = by_rep[info.representative_id]
+                assert any(
+                    back.representative_id == packet.representative_id
+                    for back in reverse.occupied_neighbors
+                )
+
+    def test_one_packet_per_occupied_node(self):
+        snap, pos = line_positions()
+        packets = build_info_packets(snap, pos)
+        assert set(packets) == {0, 1, 3}

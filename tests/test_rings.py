@@ -1,0 +1,170 @@
+"""Tests for dynamic rings and the ring-walk baseline (related work)."""
+
+import pytest
+
+from repro.baselines.ring_walk import RingWalkDispersion
+from repro.core.dispersion import DispersionDynamic
+from repro.graph.rings import RingDynamicGraph, ring_edges
+from repro.robots.robot import RobotSet
+from repro.sim.engine import SimulationEngine
+from repro.sim.observation import CommunicationModel
+
+
+class TestRingEdges:
+    def test_cycle(self):
+        assert ring_edges(4) == [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            ring_edges(2)
+
+
+class TestRingDynamicGraph:
+    def test_static_mode_full_ring(self):
+        ring = RingDynamicGraph(8, mode="static", seed=1)
+        for r in range(5):
+            snap = ring.snapshot(r)
+            assert snap.num_edges == 8
+            assert all(snap.degree(v) == 2 for v in snap.nodes())
+        assert ring.removed_edges[:5] == [None] * 5
+
+    def test_ports_stable_across_rounds(self):
+        ring = RingDynamicGraph(10, mode="static", seed=2)
+        first = ring.snapshot(0)
+        later = ring.snapshot(7)
+        for v in range(10):
+            assert first.port_map(v) == later.port_map(v)
+
+    def test_random_mode_removes_at_most_one_edge(self):
+        ring = RingDynamicGraph(
+            9, mode="random", removal_probability=1.0, seed=3
+        )
+        for r in range(10):
+            snap = ring.snapshot(r)
+            assert snap.num_edges == 8  # always one edge missing
+            assert snap.is_connected()
+            assert ring.removed_edges[r] is not None
+
+    def test_random_mode_zero_probability(self):
+        ring = RingDynamicGraph(
+            9, mode="random", removal_probability=0.0, seed=4
+        )
+        assert ring.snapshot(0).num_edges == 9
+
+    def test_orientation_is_seeded(self):
+        a = RingDynamicGraph(8, mode="static", seed=5).snapshot(0)
+        b = RingDynamicGraph(8, mode="static", seed=5).snapshot(0)
+        assert a == b
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            RingDynamicGraph(2)
+        with pytest.raises(ValueError):
+            RingDynamicGraph(5, mode="weird")
+        with pytest.raises(ValueError):
+            RingDynamicGraph(5, removal_probability=2.0)
+        with pytest.raises(ValueError):
+            RingDynamicGraph(5, mode="blocking")
+
+    def test_blocking_mode_is_adaptive(self):
+        ring = RingDynamicGraph(
+            6, mode="blocking", algorithm=RingWalkDispersion()
+        )
+        assert ring.is_adaptive
+        assert ring.mode == "blocking"
+
+    def test_snapshot_cached(self):
+        ring = RingDynamicGraph(8, mode="random", seed=6)
+        assert ring.snapshot(3) is ring.snapshot(3)
+
+
+class TestRingWalker:
+    def test_disperses_static_ring(self):
+        ring = RingDynamicGraph(8, mode="static", seed=1)
+        result = SimulationEngine(
+            ring,
+            RobotSet.rooted(6, 8),
+            RingWalkDispersion(),
+            communication=CommunicationModel.LOCAL,
+            max_rounds=500,
+        ).run()
+        assert result.dispersed
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_disperses_randomly_faulting_ring(self, seed):
+        ring = RingDynamicGraph(
+            12, mode="random", removal_probability=0.8, seed=seed
+        )
+        result = SimulationEngine(
+            ring,
+            RobotSet.rooted(8, 12),
+            RingWalkDispersion(),
+            communication=CommunicationModel.LOCAL,
+            max_rounds=3000,
+        ).run()
+        assert result.dispersed, seed
+
+    def test_arbitrary_start(self):
+        ring = RingDynamicGraph(
+            10, mode="random", removal_probability=0.5, seed=9
+        )
+        positions = {1: 2, 2: 2, 3: 2, 4: 7, 5: 7}
+        result = SimulationEngine(
+            ring,
+            positions,
+            RingWalkDispersion(),
+            communication=CommunicationModel.LOCAL,
+            max_rounds=3000,
+        ).run()
+        assert result.dispersed
+
+    def test_blocking_adversary_stalls_walker(self):
+        algorithm = RingWalkDispersion()
+        ring = RingDynamicGraph(
+            10, mode="blocking", seed=3, algorithm=algorithm
+        )
+        result = SimulationEngine(
+            ring,
+            RobotSet.rooted(7, 10),
+            algorithm,
+            communication=CommunicationModel.LOCAL,
+            max_rounds=300,
+        ).run()
+        assert not result.dispersed
+
+    def test_paper_algorithm_unaffected_by_blocking(self):
+        algorithm = DispersionDynamic()
+        ring = RingDynamicGraph(
+            10,
+            mode="blocking",
+            seed=3,
+            algorithm=algorithm,
+            communication=CommunicationModel.GLOBAL,
+        )
+        result = SimulationEngine(
+            ring, RobotSet.rooted(7, 10), algorithm
+        ).run()
+        assert result.dispersed
+        assert result.rounds <= 6  # k - 1
+
+    def test_paper_algorithm_on_random_rings(self):
+        for seed in range(4):
+            ring = RingDynamicGraph(
+                14, mode="random", removal_probability=0.9, seed=seed
+            )
+            result = SimulationEngine(
+                ring, RobotSet.rooted(10, 14), DispersionDynamic()
+            ).run()
+            assert result.dispersed
+            assert result.rounds <= 9
+
+    def test_walker_memory_is_small(self):
+        ring = RingDynamicGraph(8, mode="static", seed=2)
+        result = SimulationEngine(
+            ring,
+            RobotSet.rooted(5, 8),
+            RingWalkDispersion(),
+            communication=CommunicationModel.LOCAL,
+            max_rounds=500,
+        ).run()
+        assert result.max_persistent_bits <= 4  # id (3) + settled (1)

@@ -1,0 +1,225 @@
+"""Tests for activation schedules and semi-synchronous execution."""
+
+import pytest
+
+from repro.core.dispersion import DispersionDynamic
+from repro.graph.dynamic import RandomChurnDynamicGraph, StaticDynamicGraph
+from repro.graph.generators import star_graph
+from repro.robots.robot import RobotSet
+from repro.sim.algorithm import Decision, RobotAlgorithm, STAY
+from repro.sim.engine import SimulationEngine, SimulationError
+from repro.sim.observation import CommunicationModel, Observation
+from repro.sim.scheduling import (
+    ActivationSchedule,
+    FullActivation,
+    RandomSubsetActivation,
+    RoundRobinActivation,
+)
+
+
+class TestFullActivation:
+    def test_everyone_every_round(self):
+        schedule = FullActivation()
+        assert schedule.active_robots(0, [1, 2, 3]) == {1, 2, 3}
+        assert schedule.active_robots(99, [5]) == {5}
+        assert schedule.is_synchronous
+
+
+class TestRandomSubset:
+    def test_probability_one_activates_all(self):
+        schedule = RandomSubsetActivation(1.0, seed=1)
+        assert schedule.active_robots(3, [1, 2, 3, 4]) == {1, 2, 3, 4}
+
+    def test_subset_of_alive(self):
+        schedule = RandomSubsetActivation(0.5, seed=2)
+        for r in range(30):
+            active = schedule.active_robots(r, [1, 2, 3, 4, 5, 6])
+            assert active <= {1, 2, 3, 4, 5, 6}
+            assert active  # never empty
+
+    def test_deterministic(self):
+        a = RandomSubsetActivation(0.5, seed=3)
+        b = RandomSubsetActivation(0.5, seed=3)
+        for r in range(10):
+            assert a.active_robots(r, range(1, 9)) == b.active_robots(
+                r, range(1, 9)
+            )
+
+    def test_activation_rate_near_p(self):
+        schedule = RandomSubsetActivation(0.7, seed=4)
+        alive = list(range(1, 21))
+        total = sum(
+            len(schedule.active_robots(r, alive)) for r in range(200)
+        )
+        rate = total / (200 * len(alive))
+        assert 0.6 < rate < 0.8
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            RandomSubsetActivation(0.0)
+        with pytest.raises(ValueError):
+            RandomSubsetActivation(1.5)
+
+    def test_not_synchronous(self):
+        assert not RandomSubsetActivation(0.5).is_synchronous
+
+    def test_p_property(self):
+        assert RandomSubsetActivation(0.25).p == 0.25
+
+
+class TestRoundRobin:
+    def test_window_one_is_synchronous_behavior(self):
+        schedule = RoundRobinActivation(1)
+        assert schedule.active_robots(5, [1, 2, 3]) == {1, 2, 3}
+
+    def test_phase_selection(self):
+        schedule = RoundRobinActivation(3)
+        # round 0: everyone (the periodic full round)
+        assert schedule.active_robots(0, [1, 2, 3, 4, 5, 6]) == {
+            1, 2, 3, 4, 5, 6,
+        }
+        # round 1: ids with id % 3 == 1
+        assert schedule.active_robots(1, [1, 2, 3, 4, 5, 6]) == {1, 4}
+        # round 2: ids with id % 3 == 2
+        assert schedule.active_robots(2, [1, 2, 3, 4, 5, 6]) == {2, 5}
+
+    def test_never_empty(self):
+        schedule = RoundRobinActivation(5)
+        # 5 and 10 are both 0 mod 5; phases 1..4 match nobody -> fallback
+        assert schedule.active_robots(1, [5, 10]) == {5}
+        assert schedule.active_robots(2, [5, 10]) == {5}
+        # the periodic full round still activates everyone
+        assert schedule.active_robots(5, [5, 10]) == {5, 10}
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            RoundRobinActivation(0)
+
+
+class RecordingAlgorithm(RobotAlgorithm):
+    """Records which robots were asked to decide, per round."""
+
+    name = "recording"
+    requires_communication = CommunicationModel.LOCAL
+    requires_neighborhood_knowledge = False
+
+    def __init__(self):
+        self.asked = {}
+
+    def decide(self, observation: Observation) -> Decision:
+        self.asked.setdefault(observation.round_index, set()).add(
+            observation.robot_id
+        )
+        return STAY
+
+
+class TestEngineIntegration:
+    def test_only_active_robots_decide(self):
+        algorithm = RecordingAlgorithm()
+        schedule = RoundRobinActivation(3)
+        SimulationEngine(
+            StaticDynamicGraph(star_graph(8)),
+            RobotSet.rooted(6, 8),
+            algorithm,
+            activation_schedule=schedule,
+            max_rounds=4,
+        ).run()
+        assert algorithm.asked[0] == {1, 2, 3, 4, 5, 6}
+        assert algorithm.asked[1] == {1, 4}
+        assert algorithm.asked[2] == {2, 5}
+        assert algorithm.asked[3] == {1, 2, 3, 4, 5, 6}
+
+    def test_default_is_full_activation(self):
+        algorithm = RecordingAlgorithm()
+        SimulationEngine(
+            StaticDynamicGraph(star_graph(8)),
+            RobotSet.rooted(6, 8),
+            algorithm,
+            max_rounds=2,
+        ).run()
+        assert algorithm.asked[0] == {1, 2, 3, 4, 5, 6}
+
+    def test_bad_schedule_rejected(self):
+        class Liar(ActivationSchedule):
+            def active_robots(self, round_index, alive):
+                return frozenset({999})
+
+        with pytest.raises(SimulationError):
+            SimulationEngine(
+                StaticDynamicGraph(star_graph(8)),
+                RobotSet.rooted(6, 8),
+                RecordingAlgorithm(),
+                activation_schedule=Liar(),
+                max_rounds=2,
+            ).run()
+
+    def test_empty_schedule_rejected(self):
+        class Sleeper(ActivationSchedule):
+            def active_robots(self, round_index, alive):
+                return frozenset()
+
+        with pytest.raises(SimulationError):
+            SimulationEngine(
+                StaticDynamicGraph(star_graph(8)),
+                RobotSet.rooted(6, 8),
+                RecordingAlgorithm(),
+                activation_schedule=Sleeper(),
+                max_rounds=2,
+            ).run()
+
+
+class TestSemiSyncDispersion:
+    """Paper §VIII future work: the algorithm under partial activation."""
+
+    def test_full_probability_matches_synchronous(self):
+        n, k, seed = 16, 12, 1
+
+        def run(schedule):
+            dyn = RandomChurnDynamicGraph(n, extra_edges=6, seed=seed)
+            return SimulationEngine(
+                dyn,
+                RobotSet.rooted(k, n),
+                DispersionDynamic(),
+                activation_schedule=schedule,
+            ).run()
+
+        sync = run(None)
+        pseudo = run(RandomSubsetActivation(1.0, seed=0))
+        assert sync.rounds == pseudo.rounds
+        assert sync.final_positions == pseudo.final_positions
+
+    @pytest.mark.parametrize("p", [0.9, 0.7])
+    def test_still_disperses_with_high_activation(self, p):
+        """With random activation a fully-active round happens eventually,
+        so dispersion is still reached (just without the k-round bound)."""
+        n, k = 14, 8
+        for seed in range(3):
+            dyn = RandomChurnDynamicGraph(n, extra_edges=6, seed=seed)
+            result = SimulationEngine(
+                dyn,
+                RobotSet.rooted(k, n),
+                DispersionDynamic(),
+                activation_schedule=RandomSubsetActivation(p, seed=seed),
+                max_rounds=5000,
+            ).run()
+            assert result.dispersed, (p, seed)
+
+    def test_k_round_bound_can_break(self):
+        """The synchronous guarantee is genuinely lost: some seed exceeds
+        the k - 1 bound under partial activation."""
+        n, k = 14, 10
+        exceeded = False
+        for seed in range(10):
+            dyn = RandomChurnDynamicGraph(n, extra_edges=6, seed=seed)
+            result = SimulationEngine(
+                dyn,
+                RobotSet.rooted(k, n),
+                DispersionDynamic(),
+                activation_schedule=RandomSubsetActivation(0.55, seed=seed),
+                max_rounds=5000,
+            ).run()
+            assert result.dispersed
+            if result.rounds > k - 1:
+                exceeded = True
+                break
+        assert exceeded

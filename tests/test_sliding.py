@@ -1,0 +1,144 @@
+"""Tests for the sliding rule (move-map construction)."""
+
+import pytest
+
+from repro.core.components import build_component
+from repro.core.disjoint_paths import RootPath, compute_disjoint_paths
+from repro.core.sliding import (
+    SlidingError,
+    compute_sliding_moves,
+    truncate_paths,
+)
+from repro.core.spanning_tree import build_spanning_tree
+from repro.graph.generators import path_graph, star_graph
+
+from tests.conftest import make_packets, random_instance
+
+
+def setup(snapshot, positions, rep):
+    packets = make_packets(snapshot, positions)
+    component = build_component(packets, rep)
+    tree = build_spanning_tree(component)
+    paths = compute_disjoint_paths(tree, component)
+    paths = truncate_paths(paths, component.node(tree.root).robot_count)
+    return component, tree, paths
+
+
+class TestTruncation:
+    def test_keeps_count_minus_one(self):
+        paths = [RootPath((1, i)) for i in (2, 3, 4, 5)]
+        assert truncate_paths(paths, 3) == paths[:2]
+
+    def test_no_truncation_needed(self):
+        paths = [RootPath((1, 2))]
+        assert truncate_paths(paths, 5) == paths
+
+    def test_single_robot_root_keeps_nothing(self):
+        assert truncate_paths([RootPath((1, 2))], 1) == []
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(SlidingError):
+            truncate_paths([], 0)
+
+
+class TestSlidingMoves:
+    def test_trivial_path_moves_second_smallest_robot(self):
+        snap = star_graph(4)
+        positions = {1: 0, 2: 0, 3: 0}
+        component, tree, paths = setup(snap, positions, 1)
+        assert [list(p.nodes) for p in paths] == [[1]]
+        moves = compute_sliding_moves(component, tree, paths)
+        # robot 1 (smallest) stays; robot 2 takes the smallest empty port.
+        assert moves == {2: 1}
+
+    def test_chain_path_moves_one_robot_per_node(self):
+        snap = path_graph(4)
+        positions = {1: 0, 2: 0, 3: 1, 4: 2}
+        component, tree, paths = setup(snap, positions, 1)
+        assert [list(p.nodes) for p in paths] == [[1, 3, 4]]
+        moves = compute_sliding_moves(component, tree, paths)
+        # robot 2 (root surplus) -> towards node1; robot 3 -> towards node2;
+        # robot 4 (leaf) -> smallest empty port (towards node3).
+        assert set(moves) == {2, 3, 4}
+        assert moves[2] == snap.port_of(0, 1)
+        assert moves[3] == snap.port_of(1, 2)
+        assert moves[4] == snap.port_of(2, 3)
+
+    def test_intermediate_multiplicity_moves_largest(self):
+        snap = path_graph(4)
+        positions = {1: 0, 2: 0, 3: 1, 5: 1, 4: 2}
+        component, tree, paths = setup(snap, positions, 1)
+        moves = compute_sliding_moves(component, tree, paths)
+        # at node1 robots {3,5}: the largest (5) moves.
+        assert 5 in moves and 3 not in moves
+
+    def test_root_never_vacated(self):
+        for seed in range(10):
+            snap, positions = random_instance(seed)
+            packets = make_packets(snap, positions)
+            from repro.core.components import partition_into_components
+
+            for component in partition_into_components(packets):
+                tree = build_spanning_tree(component)
+                if tree is None:
+                    continue
+                paths = compute_disjoint_paths(tree, component)
+                paths = truncate_paths(
+                    paths, component.node(tree.root).robot_count
+                )
+                moves = compute_sliding_moves(component, tree, paths)
+                root_ids = set(component.node(tree.root).robot_ids)
+                movers_from_root = root_ids & set(moves)
+                assert len(movers_from_root) <= len(root_ids) - 1
+                assert min(root_ids) not in moves
+
+    def test_each_robot_moves_at_most_once(self):
+        for seed in range(10):
+            snap, positions = random_instance(seed)
+            packets = make_packets(snap, positions)
+            from repro.core.components import partition_into_components
+
+            for component in partition_into_components(packets):
+                tree = build_spanning_tree(component)
+                if tree is None:
+                    continue
+                paths = compute_disjoint_paths(tree, component)
+                paths = truncate_paths(
+                    paths, component.node(tree.root).robot_count
+                )
+                # compute_sliding_moves raises SlidingError on any
+                # double-assignment; reaching here is the assertion.
+                compute_sliding_moves(component, tree, paths)
+
+    def test_untruncated_paths_rejected(self):
+        snap = star_graph(6)
+        positions = {1: 0, 2: 0, 3: 1, 4: 2}
+        packets = make_packets(snap, positions)
+        component = build_component(packets, 1)
+        tree = build_spanning_tree(component)
+        fake_paths = [RootPath((1,)), RootPath((1, 3)), RootPath((1, 4))]
+        with pytest.raises(SlidingError):
+            compute_sliding_moves(component, tree, fake_paths)
+
+    def test_moves_use_valid_ports(self):
+        for seed in range(10):
+            snap, positions = random_instance(seed)
+            packets = make_packets(snap, positions)
+            node_of_rep = {}
+            for node in set(positions.values()):
+                ids = [r for r, p in positions.items() if p == node]
+                node_of_rep[min(ids)] = node
+            from repro.core.components import partition_into_components
+
+            for component in partition_into_components(packets):
+                tree = build_spanning_tree(component)
+                if tree is None:
+                    continue
+                paths = compute_disjoint_paths(tree, component)
+                paths = truncate_paths(
+                    paths, component.node(tree.root).robot_count
+                )
+                moves = compute_sliding_moves(component, tree, paths)
+                for robot_id, port in moves.items():
+                    node = positions[robot_id]
+                    assert 1 <= port <= snap.degree(node)

@@ -1,0 +1,237 @@
+"""Unit tests for the port-labelled graph snapshot."""
+
+import random
+
+import pytest
+
+from repro.graph.snapshot import GraphSnapshot, PortLabeledEdge
+
+
+def triangle() -> GraphSnapshot:
+    return GraphSnapshot.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+
+class TestPortLabeledEdge:
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            PortLabeledEdge(1, 1, 1, 2)
+
+    def test_endpoints(self):
+        edge = PortLabeledEdge(0, 1, 2, 3)
+        assert edge.endpoints() == frozenset({0, 2})
+
+    def test_other(self):
+        edge = PortLabeledEdge(0, 1, 2, 3)
+        assert edge.other(0) == 2
+        assert edge.other(2) == 0
+
+    def test_other_rejects_non_endpoint(self):
+        with pytest.raises(ValueError):
+            PortLabeledEdge(0, 1, 2, 3).other(5)
+
+    def test_port_at(self):
+        edge = PortLabeledEdge(0, 1, 2, 3)
+        assert edge.port_at(0) == 1
+        assert edge.port_at(2) == 3
+
+    def test_port_at_rejects_non_endpoint(self):
+        with pytest.raises(ValueError):
+            PortLabeledEdge(0, 1, 2, 3).port_at(9)
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        snap = triangle()
+        assert snap.n == 3
+        assert snap.num_edges == 3
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            GraphSnapshot.from_edges(0, [])
+
+    def test_single_node_no_edges(self):
+        snap = GraphSnapshot.from_edges(1, [])
+        assert snap.n == 1
+        assert snap.degree(0) == 0
+        assert snap.is_connected()
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            GraphSnapshot.from_edges(2, [(0, 0)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError):
+            GraphSnapshot.from_edges(3, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError):
+            GraphSnapshot.from_edges(2, [(0, 5)])
+
+    def test_canonical_ports_are_sorted_by_neighbor(self):
+        snap = GraphSnapshot.from_edges(4, [(1, 3), (1, 0), (1, 2)])
+        assert snap.neighbor_via(1, 1) == 0
+        assert snap.neighbor_via(1, 2) == 2
+        assert snap.neighbor_via(1, 3) == 3
+
+    def test_random_ports_are_a_permutation(self):
+        rng = random.Random(1)
+        snap = GraphSnapshot.from_edges(
+            5, [(0, 1), (0, 2), (0, 3), (0, 4)], rng=rng
+        )
+        assert sorted(snap.port_map(0)) == [1, 2, 3, 4]
+        assert sorted(snap.port_map(0).values()) == [1, 2, 3, 4]
+
+    def test_from_port_maps_roundtrip(self):
+        snap = triangle()
+        rebuilt = GraphSnapshot.from_port_maps(
+            3, [snap.port_map(v) for v in range(3)]
+        )
+        assert rebuilt == snap
+
+    def test_from_port_maps_rejects_bad_port_range(self):
+        with pytest.raises(ValueError):
+            GraphSnapshot.from_port_maps(2, [{2: 1}, {1: 0}])
+
+    def test_from_port_maps_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            GraphSnapshot.from_port_maps(3, [{1: 1}, {1: 2}, {1: 1}])
+
+    def test_from_port_maps_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            GraphSnapshot.from_port_maps(2, [{1: 0}, {}])
+
+    def test_from_port_maps_rejects_parallel_edges(self):
+        with pytest.raises(ValueError):
+            GraphSnapshot.from_port_maps(
+                2, [{1: 1, 2: 1}, {1: 0, 2: 0}]
+            )
+
+
+class TestQueries:
+    def test_degree(self):
+        snap = GraphSnapshot.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert snap.degree(0) == 3
+        assert snap.degree(1) == 1
+
+    def test_max_degree(self):
+        snap = GraphSnapshot.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert snap.max_degree() == 3
+
+    def test_neighbors_in_port_order(self):
+        snap = triangle()
+        assert snap.neighbors(0) == (1, 2)
+
+    def test_ports(self):
+        snap = triangle()
+        assert snap.ports(0) == (1, 2)
+        assert snap.ports(1) == (1, 2)
+
+    def test_neighbor_via_unknown_port_raises(self):
+        with pytest.raises(ValueError):
+            triangle().neighbor_via(0, 7)
+
+    def test_port_of(self):
+        snap = triangle()
+        for v in snap.nodes():
+            for port in snap.ports(v):
+                neighbor = snap.neighbor_via(v, port)
+                assert snap.port_of(v, neighbor) == port
+
+    def test_port_of_non_neighbor_raises(self):
+        snap = GraphSnapshot.from_edges(3, [(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            snap.port_of(0, 2)
+
+    def test_has_edge(self):
+        snap = GraphSnapshot.from_edges(3, [(0, 1), (1, 2)])
+        assert snap.has_edge(0, 1) and snap.has_edge(1, 0)
+        assert not snap.has_edge(0, 2)
+
+    def test_edges_are_canonical(self):
+        snap = triangle()
+        for edge in snap.edges():
+            assert edge.u < edge.v
+            assert snap.port_of(edge.u, edge.v) == edge.port_u
+            assert snap.port_of(edge.v, edge.u) == edge.port_v
+
+    def test_iter_yields_nodes(self):
+        assert list(triangle()) == [0, 1, 2]
+
+    def test_repr(self):
+        assert repr(triangle()) == "GraphSnapshot(n=3, m=3)"
+
+
+class TestAnalysis:
+    def test_connected_true(self):
+        assert triangle().is_connected()
+
+    def test_connected_false(self):
+        snap = GraphSnapshot.from_edges(4, [(0, 1), (2, 3)])
+        assert not snap.is_connected()
+
+    def test_bfs_distances(self):
+        snap = GraphSnapshot.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert snap.bfs_distances(0) == [0, 1, 2, 3]
+
+    def test_bfs_unreachable_marked(self):
+        snap = GraphSnapshot.from_edges(3, [(0, 1)])
+        assert snap.bfs_distances(0)[2] == -1
+
+    def test_diameter_path(self):
+        snap = GraphSnapshot.from_edges(5, [(i, i + 1) for i in range(4)])
+        assert snap.diameter() == 4
+
+    def test_diameter_disconnected_raises(self):
+        snap = GraphSnapshot.from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            snap.diameter()
+
+    def test_connected_node_components(self):
+        snap = GraphSnapshot.from_edges(5, [(0, 1), (2, 3)])
+        comps = {frozenset(c) for c in snap.connected_node_components()}
+        assert comps == {frozenset({0, 1}), frozenset({2, 3}), frozenset({4})}
+
+    def test_induced_occupied_components(self):
+        snap = GraphSnapshot.from_edges(
+            6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]
+        )
+        comps = snap.induced_occupied_components([0, 1, 3, 4])
+        assert {frozenset(c) for c in comps} == {
+            frozenset({0, 1}),
+            frozenset({3, 4}),
+        }
+
+    def test_to_networkx(self):
+        import networkx as nx
+
+        graph = triangle().to_networkx()
+        assert nx.is_connected(graph)
+        assert graph.number_of_edges() == 3
+        assert graph.edges[0, 1]["ports"][0] == 1
+
+    def test_relabeled_ports_preserves_edges(self):
+        snap = GraphSnapshot.from_edges(6, [(i, i + 1) for i in range(5)])
+        relabeled = snap.relabeled_ports(random.Random(3))
+        assert {(e.u, e.v) for e in snap.edges()} == {
+            (e.u, e.v) for e in relabeled.edges()
+        }
+
+
+class TestEquality:
+    def test_equal_snapshots(self):
+        assert triangle() == triangle()
+
+    def test_port_labelling_matters(self):
+        a = GraphSnapshot.from_port_maps(
+            3, [{1: 1, 2: 2}, {1: 0, 2: 2}, {1: 0, 2: 1}]
+        )
+        b = GraphSnapshot.from_port_maps(
+            3, [{1: 2, 2: 1}, {1: 0, 2: 2}, {1: 0, 2: 1}]
+        )
+        assert a != b
+
+    def test_hashable(self):
+        assert len({triangle(), triangle()}) == 1
+
+    def test_not_equal_to_other_type(self):
+        assert triangle() != "graph"

@@ -1,0 +1,214 @@
+"""Tests for Algorithm 2: component spanning trees.
+
+Covers Observation 3 (unique IDs, distinct root) and Lemma 2 (all robots of
+a component build the same tree -- here: determinism of the construction).
+"""
+
+import pytest
+
+from repro.analysis.figures import build_fig3_instance
+from repro.core.components import build_component, partition_into_components
+from repro.core.spanning_tree import build_spanning_tree, choose_root
+from repro.graph.generators import cycle_graph, path_graph
+from repro.graph.snapshot import GraphSnapshot
+from repro.sim.observation import build_info_packets
+
+from tests.conftest import make_packets, random_instance
+
+
+def component_of(snapshot, positions, rep):
+    packets = make_packets(snapshot, positions)
+    return build_component(packets, rep)
+
+
+class TestRootChoice:
+    def test_no_multiplicity_means_no_tree(self):
+        snap = path_graph(3)
+        component = component_of(snap, {1: 0, 2: 1}, 1)
+        assert choose_root(component) is None
+        assert build_spanning_tree(component) is None
+
+    def test_root_is_smallest_multiplicity(self):
+        snap = path_graph(4)
+        positions = {4: 0, 5: 0, 1: 1, 2: 2, 3: 2}
+        component = component_of(snap, positions, 1)
+        # multiplicity nodes: node0 (rep 4), node2 (rep 2) -> root rep 2
+        assert choose_root(component) == 2
+
+    def test_single_multiplicity_node_component(self):
+        snap = path_graph(3)
+        component = component_of(snap, {1: 1, 2: 1}, 1)
+        tree = build_spanning_tree(component)
+        assert tree is not None
+        assert tree.root == 1
+        assert tree.size == 1
+        assert tree.nodes == [1]
+
+
+class TestTreeStructure:
+    def test_spans_component(self):
+        instance = build_fig3_instance()
+        packets = make_packets(instance.snapshot, instance.positions)
+        for component in partition_into_components(packets):
+            tree = build_spanning_tree(component)
+            assert tree is not None
+            assert sorted(tree.nodes) == component.representatives
+            assert len(tree.edges()) == component.size - 1
+            assert tree.is_valid_tree()
+
+    def test_tree_edges_are_component_edges(self):
+        instance = build_fig3_instance()
+        packets = make_packets(instance.snapshot, instance.positions)
+        for component in partition_into_components(packets):
+            tree = build_spanning_tree(component)
+            comp_edges = set(component.edges())
+            for parent, child in tree.edges():
+                assert (min(parent, child), max(parent, child)) in comp_edges
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_instances(self, seed):
+        snap, positions = random_instance(seed)
+        packets = make_packets(snap, positions)
+        for component in partition_into_components(packets):
+            tree = build_spanning_tree(component)
+            if not component.has_multiplicity:
+                assert tree is None
+                continue
+            assert sorted(tree.nodes) == component.representatives
+            assert tree.is_valid_tree()
+            # every non-root node has exactly one parent in the component
+            for node in tree.nodes:
+                if node != tree.root:
+                    parent = tree.parent[node]
+                    assert node in component.neighbors(parent)
+
+    def test_dfs_explores_smallest_port_first(self):
+        """The root's port-1 subtree is explored before its port-2 subtree."""
+        snap = cycle_graph(4)  # 0-1-2-3-0
+        positions = {1: 0, 2: 0, 3: 1, 4: 2, 5: 3}
+        component = component_of(snap, positions, 1)
+        tree = build_spanning_tree(component)
+        assert tree.root == 1
+        # node0's port 1 leads to node1 (rep 3): 3 must be a root child
+        # discovered first, and the DFS then walks 3 -> 4 -> 5.
+        assert tree.parent[3] == 1
+        assert tree.parent[4] == 3
+        assert tree.parent[5] == 4
+
+
+class TestRootPath:
+    def test_path_from_root_to_leaf(self):
+        snap = path_graph(4)
+        positions = {1: 0, 2: 0, 3: 1, 4: 2, 5: 3}
+        component = component_of(snap, positions, 1)
+        tree = build_spanning_tree(component)
+        assert tree.root_path(5) == [1, 3, 4, 5]
+        assert tree.root_path(1) == [1]
+        assert tree.depth(5) == 3
+        assert tree.depth(1) == 0
+
+    def test_root_path_unknown_node(self):
+        snap = path_graph(3)
+        component = component_of(snap, {1: 0, 2: 0}, 1)
+        tree = build_spanning_tree(component)
+        with pytest.raises(KeyError):
+            tree.root_path(42)
+
+
+class TestLemma2Determinism:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_tree_from_any_robot(self, seed):
+        """Rebuilding the component from every member robot's perspective
+        yields an identical spanning tree."""
+        snap, positions = random_instance(seed)
+        packets = make_packets(snap, positions)
+        reps = sorted(p.representative_id for p in packets)
+        trees_by_member = {}
+        for rep in reps:
+            component = build_component(packets, rep)
+            tree = build_spanning_tree(component)
+            key = frozenset(component.representatives)
+            if tree is None:
+                continue
+            recorded = trees_by_member.get(key)
+            structure = (tree.root, tuple(sorted(tree.edges())))
+            if recorded is None:
+                trees_by_member[key] = structure
+            else:
+                assert recorded == structure
+
+
+class TestContainsAndEdges:
+    def test_contains(self):
+        snap = path_graph(3)
+        component = component_of(snap, {1: 0, 2: 0, 3: 1}, 1)
+        tree = build_spanning_tree(component)
+        assert 1 in tree and 3 in tree and 99 not in tree
+
+    def test_edges_sorted_by_child(self):
+        instance = build_fig3_instance()
+        packets = make_packets(instance.snapshot, instance.positions)
+        component = build_component(packets, 1)
+        tree = build_spanning_tree(component)
+        children = [child for _, child in tree.edges()]
+        assert children == sorted(children)
+
+
+class TestBfsVariant:
+    """The paper's "(a BFS approach can also be used)" parenthetical."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bfs_tree_spans_and_is_valid(self, seed):
+        from repro.core.spanning_tree import build_spanning_tree_bfs
+
+        snap, positions = random_instance(seed)
+        packets = make_packets(snap, positions)
+        for component in partition_into_components(packets):
+            tree = build_spanning_tree_bfs(component)
+            if not component.has_multiplicity:
+                assert tree is None
+                continue
+            assert sorted(tree.nodes) == component.representatives
+            assert tree.is_valid_tree()
+
+    def test_bfs_tree_is_shallowest(self):
+        """BFS root paths are shortest paths in the component."""
+        from repro.core.spanning_tree import build_spanning_tree_bfs
+
+        snap = cycle_graph(8)
+        positions = {1: 0, 2: 0}
+        positions.update({i: i - 2 for i in range(3, 10)})
+        packets = make_packets(snap, positions)
+        component = build_component(packets, 1)
+        tree = build_spanning_tree_bfs(component)
+        # on a fully-occupied cycle, BFS depth is at most n/2
+        assert max(tree.depth(node) for node in tree.nodes) <= 4
+
+    def test_bfs_same_root_as_dfs(self):
+        from repro.core.spanning_tree import build_spanning_tree_bfs
+
+        snap = path_graph(5)
+        positions = {1: 1, 2: 1, 3: 2, 4: 3}
+        packets = make_packets(snap, positions)
+        component = build_component(packets, 1)
+        dfs = build_spanning_tree(component)
+        bfs = build_spanning_tree_bfs(component)
+        assert dfs.root == bfs.root
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_full_algorithm_works_on_bfs_trees(self, seed):
+        from repro.analysis.ablation import BfsTreeVariant
+        from repro.graph.dynamic import RandomChurnDynamicGraph
+        from repro.robots.robot import RobotSet
+        from repro.sim.engine import SimulationEngine
+
+        n, k = 20, 14
+        result = SimulationEngine(
+            RandomChurnDynamicGraph(n, extra_edges=8, seed=seed),
+            RobotSet.rooted(k, n),
+            BfsTreeVariant(),
+        ).run()
+        assert result.dispersed
+        assert result.rounds <= k - 1
+        for record in result.records:
+            assert record.occupied_before <= record.occupied_after

@@ -1,0 +1,183 @@
+"""Tests for JSON serialization and replay of runs and graph scripts."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.dispersion import DispersionDynamic
+from repro.graph.dynamic import RandomChurnDynamicGraph, SequenceDynamicGraph
+from repro.graph.generators import path_graph, random_connected_graph
+from repro.robots.robot import RobotSet
+from repro.sim.engine import SimulationEngine
+from repro.sim.traceio import (
+    dynamic_graph_to_script,
+    replay_and_verify,
+    run_result_to_dict,
+    run_result_to_json,
+    script_from_dict,
+    script_to_dict,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
+
+
+class TestSnapshotRoundtrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_roundtrip_preserves_everything(self, seed):
+        rng = random.Random(seed)
+        snapshot = random_connected_graph(12, 8, rng)
+        restored = snapshot_from_dict(snapshot_to_dict(snapshot))
+        assert restored == snapshot  # ports included
+
+    def test_json_serializable(self):
+        payload = snapshot_to_dict(path_graph(5))
+        assert snapshot_from_dict(json.loads(json.dumps(payload))) == path_graph(5)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ValueError):
+            snapshot_from_dict({"n": 3})
+        with pytest.raises(ValueError):
+            snapshot_from_dict({"n": "x", "ports": []})
+
+
+class TestScripts:
+    def test_freeze_oblivious_process(self):
+        dyn = RandomChurnDynamicGraph(10, extra_edges=4, seed=1)
+        script = dynamic_graph_to_script(dyn, 5)
+        for r in range(5):
+            assert script.snapshot(r) == dyn.snapshot(r)
+        # tail holds the last snapshot
+        assert script.snapshot(9) == dyn.snapshot(4)
+
+    def test_adaptive_process_rejected(self):
+        from repro.adversary.star_lower_bound import StarStarAdversary
+
+        with pytest.raises(ValueError):
+            dynamic_graph_to_script(StarStarAdversary(8, [0]), 3)
+
+    def test_rejects_zero_rounds(self):
+        dyn = RandomChurnDynamicGraph(6, seed=2)
+        with pytest.raises(ValueError):
+            dynamic_graph_to_script(dyn, 0)
+
+    def test_script_dict_roundtrip(self):
+        dyn = RandomChurnDynamicGraph(8, extra_edges=3, seed=3)
+        script = dynamic_graph_to_script(dyn, 4)
+        payload = script_to_dict(script, 4)
+        restored = script_from_dict(json.loads(json.dumps(payload)))
+        for r in range(4):
+            assert restored.snapshot(r) == script.snapshot(r)
+
+    def test_script_from_wrong_kind_rejected(self):
+        with pytest.raises(ValueError):
+            script_from_dict({"kind": "something_else", "snapshots": []})
+
+
+class TestRunResultExport:
+    def run(self):
+        dyn = RandomChurnDynamicGraph(12, extra_edges=5, seed=4)
+        return SimulationEngine(
+            dyn, RobotSet.rooted(8, 12), DispersionDynamic()
+        ).run()
+
+    def test_dict_fields(self):
+        result = self.run()
+        payload = run_result_to_dict(result)
+        assert payload["kind"] == "run_result"
+        assert payload["reason"] == "dispersed"
+        assert payload["rounds"] == result.rounds
+        assert len(payload["records"]) == result.rounds
+        assert payload["final_positions"] == {
+            str(r): v for r, v in result.final_positions.items()
+        }
+
+    def test_json_string(self):
+        result = self.run()
+        text = run_result_to_json(result, indent=1)
+        decoded = json.loads(text)
+        assert decoded["k"] == 8 and decoded["n"] == 12
+
+    def test_records_round_numbers_contiguous(self):
+        payload = run_result_to_dict(self.run())
+        rounds = [rec["round"] for rec in payload["records"]]
+        assert rounds == list(range(len(rounds)))
+
+
+class TestReplay:
+    def test_replay_matches(self):
+        dyn = RandomChurnDynamicGraph(14, extra_edges=6, seed=5)
+        robots = RobotSet.rooted(10, 14)
+        original = SimulationEngine(dyn, robots, DispersionDynamic()).run()
+        script = dynamic_graph_to_script(
+            RandomChurnDynamicGraph(14, extra_edges=6, seed=5),
+            original.rounds + 1,
+        )
+        replayed = replay_and_verify(script, robots.positions, original)
+        assert replayed.final_positions == original.final_positions
+
+    def test_replay_detects_divergence(self):
+        dyn = RandomChurnDynamicGraph(14, extra_edges=6, seed=6)
+        robots = RobotSet.rooted(10, 14)
+        original = SimulationEngine(dyn, robots, DispersionDynamic()).run()
+        # a script from a different seed will not reproduce the run
+        wrong_script = dynamic_graph_to_script(
+            RandomChurnDynamicGraph(14, extra_edges=6, seed=7),
+            original.rounds + 1,
+        )
+        with pytest.raises(AssertionError):
+            replay_and_verify(wrong_script, robots.positions, original)
+
+
+class TestRecordingWrapper:
+    """RecordingDynamicGraph: adaptive adversary runs become replayable."""
+
+    def test_records_and_replays_adversary_run(self):
+        from repro.adversary.star_lower_bound import StarStarAdversary
+        from repro.graph.dynamic import RecordingDynamicGraph
+
+        k, n = 10, 14
+        recorder = RecordingDynamicGraph(StarStarAdversary(n, [0], seed=4))
+        robots = RobotSet.rooted(k, n)
+        original = SimulationEngine(
+            recorder, robots, DispersionDynamic()
+        ).run()
+        assert original.dispersed and original.rounds == k - 1
+        assert recorder.recorded_rounds >= original.rounds
+
+        script = recorder.to_script()
+        replayed = replay_and_verify(script, robots.positions, original)
+        assert replayed.rounds == original.rounds
+
+    def test_adaptive_flag_passthrough(self):
+        from repro.adversary.star_lower_bound import StarStarAdversary
+        from repro.graph.dynamic import RecordingDynamicGraph
+
+        assert RecordingDynamicGraph(
+            StarStarAdversary(6, [0])
+        ).is_adaptive
+        assert not RecordingDynamicGraph(
+            RandomChurnDynamicGraph(6, seed=1)
+        ).is_adaptive
+
+    def test_empty_recording_rejected(self):
+        from repro.graph.dynamic import RecordingDynamicGraph
+
+        recorder = RecordingDynamicGraph(RandomChurnDynamicGraph(6, seed=1))
+        with pytest.raises(ValueError):
+            recorder.to_script()
+
+    def test_recorded_script_serializes(self):
+        from repro.graph.dynamic import RecordingDynamicGraph
+
+        recorder = RecordingDynamicGraph(
+            RandomChurnDynamicGraph(8, extra_edges=3, seed=2)
+        )
+        SimulationEngine(
+            recorder, RobotSet.rooted(5, 8), DispersionDynamic()
+        ).run()
+        script = recorder.to_script()
+        payload = script_to_dict(script, recorder.recorded_rounds)
+        restored = script_from_dict(json.loads(json.dumps(payload)))
+        for r in range(recorder.recorded_rounds):
+            assert restored.snapshot(r) == script.snapshot(r)
