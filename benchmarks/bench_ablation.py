@@ -11,42 +11,46 @@ measures what each one buys:
 * the increasing leaf-ID order -- an arbitrary-but-shared convention:
   descending order works equally well (same bound), showing which parts of
   the construction are essential and which are conventions.
+
+The variant grid is declared as :class:`~repro.sim.spec.RunSpec` s (each
+variant is a registered algorithm name) and executed through the suite's
+``runner`` fixture, so ``REPRO_JOBS=N`` fans the grid across cores.
 """
 
-from repro.analysis.ablation import (
-    BfsTreeVariant,
-    NoDisjointnessVariant,
-    NoTruncationVariant,
-    UnorderedLeafVariant,
-)
-from repro.core.dispersion import DispersionDynamic
-from repro.graph.dynamic import RandomChurnDynamicGraph
-from repro.robots.robot import RobotSet
-from repro.sim.engine import SimulationEngine
+from repro.sim.spec import ComponentSpec, PlacementSpec, RunSpec, execute
 
 N, K = 32, 24
 SEEDS = range(6)
 
+VARIANTS = [
+    ("canonical (paper)", "dispersion_dynamic"),
+    ("descending leaf order", "ablation_descending_leaf_order"),
+    ("BFS spanning tree", "ablation_bfs_tree"),
+    ("no truncation", "ablation_no_truncation"),
+    ("no disjointness", "ablation_no_disjointness"),
+]
 
-def run_variant(variant_factory, seed, max_rounds=20 * K):
-    dyn = RandomChurnDynamicGraph(N, extra_edges=N // 2, seed=seed)
-    return SimulationEngine(
-        dyn,
-        RobotSet.rooted(K, N),
-        variant_factory(),
+
+def variant_spec(algorithm, seed, max_rounds=20 * K):
+    return RunSpec(
+        graph=ComponentSpec(
+            "random_churn", {"n": N, "extra_edges": N // 2, "seed": seed}
+        ),
+        placement=PlacementSpec(kind="rooted", k=K),
+        algorithm=ComponentSpec(algorithm),
         max_rounds=max_rounds,
-    ).run()
+        label=f"{algorithm} seed={seed}",
+    )
 
 
-def collect(variant_factory):
+def summarize_variant(results):
     stats = {
         "dispersed": 0,
         "rounds": [],
         "nonmonotone_rounds": 0,
         "zero_progress_rounds": 0,
     }
-    for seed in SEEDS:
-        result = run_variant(variant_factory, seed)
+    for result in results:
         if result.dispersed:
             stats["dispersed"] += 1
             stats["rounds"].append(result.rounds)
@@ -58,18 +62,20 @@ def collect(variant_factory):
     return stats
 
 
-def test_ablation_grid(benchmark, report):
-    variants = [
-        ("canonical (paper)", DispersionDynamic),
-        ("descending leaf order", UnorderedLeafVariant),
-        ("BFS spanning tree", BfsTreeVariant),
-        ("no truncation", NoTruncationVariant),
-        ("no disjointness", NoDisjointnessVariant),
+def test_ablation_grid(benchmark, report, runner):
+    specs = [
+        variant_spec(algorithm, seed)
+        for _, algorithm in VARIANTS
+        for seed in SEEDS
     ]
+    outcomes = runner.run(specs)
+    per_seed = len(list(SEEDS))
     rows = []
     results = {}
-    for label, factory in variants:
-        stats = collect(factory)
+    for i, (label, _) in enumerate(VARIANTS):
+        stats = summarize_variant(
+            outcomes[i * per_seed:(i + 1) * per_seed]
+        )
         results[label] = stats
         mean_rounds = (
             sum(stats["rounds"]) / len(stats["rounds"])
@@ -79,7 +85,7 @@ def test_ablation_grid(benchmark, report):
         rows.append(
             (
                 label,
-                f"{stats['dispersed']}/{len(list(SEEDS))}",
+                f"{stats['dispersed']}/{per_seed}",
                 mean_rounds,
                 stats["zero_progress_rounds"],
                 stats["nonmonotone_rounds"],
@@ -90,7 +96,7 @@ def test_ablation_grid(benchmark, report):
          "monotonicity violations"),
         rows,
         title=f"E3 -- design-choice ablations (k={K}, n={N}, "
-        f"{len(list(SEEDS))} seeds, rooted, random churn)",
+        f"{per_seed} seeds, rooted, random churn)",
     )
 
     canonical = results["canonical (paper)"]
@@ -99,7 +105,7 @@ def test_ablation_grid(benchmark, report):
     # The canonical algorithm and the convention ablations (leaf order,
     # DFS-vs-BFS tree) all keep every guarantee.
     for stats in (canonical, descending, bfs):
-        assert stats["dispersed"] == len(list(SEEDS))
+        assert stats["dispersed"] == per_seed
         assert stats["zero_progress_rounds"] == 0
         assert stats["nonmonotone_rounds"] == 0
         assert all(r <= K - 1 for r in stats["rounds"])
@@ -108,26 +114,26 @@ def test_ablation_grid(benchmark, report):
     assert (
         broken["nonmonotone_rounds"] > 0
         or broken["zero_progress_rounds"] > 0
-        or broken["dispersed"] < len(list(SEEDS))
+        or broken["dispersed"] < per_seed
         or any(r > K - 1 for r in broken["rounds"])
     )
 
-    benchmark(lambda: run_variant(DispersionDynamic, 0))
+    benchmark(lambda: execute(variant_spec("dispersion_dynamic", 0)))
 
 
-def test_no_disjointness_progress_quality(benchmark, report):
+def test_no_disjointness_progress_quality(benchmark, report, runner):
     """Per-round progress histogram: the disjointness filter guarantees
     one new node per selected path; the ablation loses hops to conflicts."""
     rows = []
-    for label, factory in (
-        ("canonical", DispersionDynamic),
-        ("no disjointness", NoDisjointnessVariant),
+    for label, algorithm in (
+        ("canonical", "dispersion_dynamic"),
+        ("no disjointness", "ablation_no_disjointness"),
     ):
+        specs = [variant_spec(algorithm, seed) for seed in SEEDS]
         total_progress = 0
         total_rounds = 0
         total_moves = 0
-        for seed in SEEDS:
-            result = run_variant(factory, seed)
+        for result in runner.run(specs):
             total_rounds += result.rounds
             total_moves += result.total_moves
             total_progress += sum(
@@ -147,4 +153,6 @@ def test_no_disjointness_progress_quality(benchmark, report):
         title="E3b -- progress quality with and without disjoint paths",
     )
 
-    benchmark(lambda: run_variant(NoDisjointnessVariant, 1))
+    benchmark(
+        lambda: execute(variant_spec("ablation_no_disjointness", 1))
+    )

@@ -1,0 +1,78 @@
+"""Runner-backend scaling: serial vs. process-pool sweep execution.
+
+The acceptance experiment for the RunSpec/Runner refactor: the full-scale
+rounds-vs-k sweep (k up to 256, the campaign's Table I row 3 grid) is
+executed twice -- once through :class:`~repro.sim.runner.SerialRunner`,
+once through a 4-worker :class:`~repro.sim.runner.ProcessPoolRunner` --
+and the two result lists are compared **field for field** via
+:func:`~repro.sim.traceio.run_result_to_dict`.  Determinism is asserted
+unconditionally: the pool must be bit-identical to serial on any machine.
+
+The >= 2x wall-clock speedup is asserted only when the machine actually
+has >= 4 CPU cores (on fewer cores a process pool cannot beat serial by
+pool-width, only add IPC overhead); either way the committed report
+records the core count, both timings and the measured speedup, so the
+numbers are honest about the hardware they came from.
+"""
+
+import os
+import time
+
+from repro.analysis.experiments import rounds_vs_k_specs
+from repro.sim.runner import ProcessPoolRunner, SerialRunner
+from repro.sim.traceio import run_result_to_dict
+
+K_VALUES = [8, 16, 32, 64, 128, 256]
+SEEDS = (0, 1)
+POOL_WORKERS = 4
+
+
+def test_pool_matches_serial_on_full_sweep(benchmark, report):
+    specs = rounds_vs_k_specs(K_VALUES, seeds=SEEDS)
+
+    t0 = time.perf_counter()
+    serial_results = SerialRunner().run(specs)
+    serial_seconds = time.perf_counter() - t0
+
+    with ProcessPoolRunner(max_workers=POOL_WORKERS) as pool:
+        pool.run(specs[:1])  # warm the pool: fork cost is not sweep cost
+        t0 = time.perf_counter()
+        pool_results = pool.run(specs)
+        pool_seconds = time.perf_counter() - t0
+
+    # Bit-identical results, in spec order, on any machine.
+    assert len(serial_results) == len(pool_results) == len(specs)
+    for spec, a, b in zip(specs, serial_results, pool_results):
+        assert run_result_to_dict(a) == run_result_to_dict(b), spec.label
+
+    cores = os.cpu_count() or 1
+    speedup = serial_seconds / pool_seconds if pool_seconds > 0 else 0.0
+    report.table(
+        ("backend", "workers", "runs", "seconds"),
+        [
+            ("SerialRunner", 1, len(specs), round(serial_seconds, 3)),
+            ("ProcessPoolRunner", POOL_WORKERS, len(specs),
+             round(pool_seconds, 3)),
+        ],
+        title=(
+            f"runner scaling -- full rounds-vs-k sweep "
+            f"(k up to {max(K_VALUES)}, {len(SEEDS)} seeds) "
+            f"on a {cores}-core machine"
+        ),
+    )
+    report.line(
+        f"speedup {speedup:.2f}x with {POOL_WORKERS} workers on "
+        f"{cores} cores; results bit-identical across backends"
+    )
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup with {POOL_WORKERS} workers on "
+            f"{cores} cores, measured {speedup:.2f}x"
+        )
+    else:
+        report.line(
+            f"(speedup assertion skipped: {cores} core(s) < 4; "
+            "determinism still asserted)"
+        )
+
+    benchmark(lambda: SerialRunner().run(specs[:2]))

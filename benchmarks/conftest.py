@@ -6,10 +6,17 @@ pytest-benchmark reports, each benchmark emits the *semantic* rows/series
 the paper's table or figure contains; the ``report`` fixture collects them
 and this conftest prints them after the run and archives them to
 ``benchmarks/_reports/<name>.txt`` so EXPERIMENTS.md can quote them.
+
+Benchmarks that execute :class:`~repro.sim.spec.RunSpec` grids take the
+``runner`` fixture: serial by default, or a process pool when the
+``REPRO_JOBS`` environment variable is set (``REPRO_JOBS=-1`` uses every
+core).  Results are bit-identical either way, so the knob only changes
+wall-clock.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import List
 
@@ -48,6 +55,16 @@ def report(request) -> ReportSink:
     sink = ReportSink(request.node.name)
     yield sink
     sink.flush()
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """The suite-wide RunSpec execution backend (see module docstring)."""
+    from repro.sim.runner import runner_from_jobs
+
+    backend = runner_from_jobs(int(os.environ.get("REPRO_JOBS", "0")))
+    yield backend
+    backend.close()
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

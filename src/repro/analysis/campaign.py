@@ -8,6 +8,14 @@ structured report renderable as markdown or plain text.  It is what
 self-check: every section carries a pass/fail verdict against the paper's
 expected shape.
 
+Every section is a *build-specs / interpret* pair: it declares its runs as
+:class:`~repro.sim.spec.RunSpec` s, executes them through the campaign's
+:class:`~repro.sim.runner.Runner` (pass ``runner=ProcessPoolRunner(...)``
+or ``repro-dispersion campaign --jobs N`` to fan sections across cores),
+and turns the results into a verdict.  The report records per-section
+wall-clock and run counts; ``CampaignReport.to_dict()`` is the
+machine-readable form ``repro-dispersion campaign --json`` writes.
+
 Scales: ``"quick"`` (seconds; k up to 64) and ``"full"`` (the benchmark
 suite's sizes, k up to 256).
 """
@@ -15,25 +23,17 @@ suite's sizes, k up to 256).
 from __future__ import annotations
 
 import math
-import random
+import time
 from dataclasses import dataclass, field
-from typing import List
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.adversary.star_lower_bound import StarStarAdversary
-from repro.analysis.experiments import (
-    churn_dynamics,
-    run_dispersion,
-    summarize,
-    sweep_faults,
-    sweep_rounds_vs_k,
-)
+from repro.analysis.experiments import summarize, sweep_faults, sweep_rounds_vs_k
 from repro.analysis.statistics import fit_line
 from repro.analysis.tables import format_table
-from repro.core.dispersion import DispersionDynamic
 from repro.robots.faults import CrashPhase
-from repro.robots.robot import RobotSet
-from repro.sim.engine import SimulationEngine
-from repro.sim.observation import CommunicationModel
+from repro.sim.metrics import RunResult
+from repro.sim.runner import Runner, SerialRunner
+from repro.sim.spec import ComponentSpec, PlacementSpec, RunSpec
 
 
 @dataclass
@@ -43,11 +43,22 @@ class CampaignSection:
     title: str
     body: str
     passed: bool
+    seconds: float = 0.0
+    runs: int = 0
 
     def render(self) -> str:
         """The section as '[PASS/FAIL] title' plus its table."""
         verdict = "PASS" if self.passed else "FAIL"
         return f"[{verdict}] {self.title}\n{self.body}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable form: title, verdict, timing, run count."""
+        return {
+            "title": self.title,
+            "passed": self.passed,
+            "seconds": round(self.seconds, 6),
+            "runs": self.runs,
+        }
 
 
 @dataclass
@@ -56,6 +67,8 @@ class CampaignReport:
 
     scale: str
     sections: List[CampaignSection] = field(default_factory=list)
+    backend: str = "serial"
+    total_seconds: float = 0.0
 
     @property
     def all_passed(self) -> bool:
@@ -73,14 +86,46 @@ class CampaignReport:
         blocks += [section.render() for section in self.sections]
         return "\n\n".join(blocks)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable form (what ``campaign --json`` writes)."""
+        return {
+            "kind": "campaign_report",
+            "scale": self.scale,
+            "backend": self.backend,
+            "all_passed": self.all_passed,
+            "total_seconds": round(self.total_seconds, 6),
+            "total_runs": sum(s.runs for s in self.sections),
+            "sections": [section.to_dict() for section in self.sections],
+        }
+
+
+class _CountingRunner(Runner):
+    """Wraps the campaign's runner to count runs per section."""
+
+    name = "counting"
+
+    def __init__(self, inner: Runner) -> None:
+        self.inner = inner
+        self.count = 0
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Delegate to the wrapped backend, tallying spec counts."""
+        self.count += len(specs)
+        return self.inner.run(specs)
+
+
+_CHURN = lambda n, seed: ComponentSpec(  # noqa: E731
+    "random_churn", {"n": n, "extra_edges": n // 2, "seed": seed}
+)
+
 
 def _k_values(scale: str) -> List[int]:
     return [8, 16, 32, 64] if scale == "quick" else [8, 16, 32, 64, 128, 256]
 
 
-def _section_algorithm(scale: str) -> CampaignSection:
+def _section_algorithm(scale: str, runner: Runner) -> CampaignSection:
     k_values = _k_values(scale)
-    data = sweep_rounds_vs_k(k_values, seeds=(0, 1))
+    data = sweep_rounds_vs_k(k_values, seeds=(0, 1), runner=runner)
     rows = []
     means = []
     ok = True
@@ -99,17 +144,24 @@ def _section_algorithm(scale: str) -> CampaignSection:
     )
 
 
-def _section_lower_bound(scale: str) -> CampaignSection:
+def _section_lower_bound(scale: str, runner: Runner) -> CampaignSection:
+    k_values = _k_values(scale)
+    specs = [
+        RunSpec(
+            graph=ComponentSpec(
+                "star_star", {"n": k + 6, "initial_occupied": [0], "seed": k}
+            ),
+            placement=PlacementSpec(kind="rooted", k=k),
+            seed=k,
+            max_rounds=2 * k,
+            collect_records=False,
+            label=f"star_star k={k}",
+        )
+        for k in k_values
+    ]
     rows = []
     ok = True
-    for k in _k_values(scale):
-        n = k + 6
-        result = run_dispersion(
-            StarStarAdversary(n, [0], seed=k),
-            RobotSet.rooted(k, n),
-            collect_records=False,
-            max_rounds=2 * k,
-        )
+    for k, result in zip(k_values, runner.run(specs)):
         tight = result.dispersed and result.rounds == k - 1
         ok &= tight
         rows.append((k, result.rounds, k - 1, tight))
@@ -120,16 +172,20 @@ def _section_lower_bound(scale: str) -> CampaignSection:
     )
 
 
-def _section_memory(scale: str) -> CampaignSection:
+def _section_memory(scale: str, runner: Runner) -> CampaignSection:
+    k_values = _k_values(scale)
+    specs = [
+        RunSpec(
+            graph=_CHURN(k + 8, 1),
+            placement=PlacementSpec(kind="rooted", k=k),
+            collect_records=False,
+            label=f"memory k={k}",
+        )
+        for k in k_values
+    ]
     rows = []
     ok = True
-    for k in _k_values(scale):
-        n = k + 8
-        result = run_dispersion(
-            churn_dynamics()(n, 1),
-            RobotSet.rooted(k, n),
-            collect_records=False,
-        )
+    for k, result in zip(k_values, runner.run(specs)):
         expected = math.ceil(math.log2(k + 1))
         ok &= result.max_persistent_bits == expected
         rows.append((k, result.max_persistent_bits, expected))
@@ -140,7 +196,7 @@ def _section_memory(scale: str) -> CampaignSection:
     )
 
 
-def _section_faults(scale: str) -> CampaignSection:
+def _section_faults(scale: str, runner: Runner) -> CampaignSection:
     k = 32 if scale == "quick" else 64
     f_values = [0, k // 4, k // 2, (3 * k) // 4]
     data = sweep_faults(
@@ -149,6 +205,7 @@ def _section_faults(scale: str) -> CampaignSection:
         seeds=(0, 1),
         crash_window=2,
         phases=[CrashPhase.BEFORE_COMMUNICATE],
+        runner=runner,
     )
     rows = []
     means = []
@@ -166,9 +223,8 @@ def _section_faults(scale: str) -> CampaignSection:
     )
 
 
-def _section_impossibility_local(scale: str) -> CampaignSection:
+def _section_impossibility_local(scale: str, runner: Runner) -> CampaignSection:
     from repro.adversary.local_impossibility import (
-        LocalStallAdversary,
         build_fig1_instance,
         interior_views_are_symmetric,
     )
@@ -176,18 +232,22 @@ def _section_impossibility_local(scale: str) -> CampaignSection:
 
     rounds = 100 if scale == "quick" else 400
     instance = build_fig1_instance(6, 9)
+    specs = [
+        RunSpec(
+            graph=ComponentSpec("local_stall", {"n": 9, "seed": 1}),
+            placement=PlacementSpec(
+                kind="explicit", positions=dict(instance.positions)
+            ),
+            algorithm=ComponentSpec(candidate_cls.name),
+            communication="local",
+            max_rounds=rounds,
+            label=f"local_stall {candidate_cls.name}",
+        )
+        for candidate_cls in LOCAL_CANDIDATES
+    ]
     rows = []
     ok = interior_views_are_symmetric(instance)
-    for candidate_cls in LOCAL_CANDIDATES:
-        algorithm = candidate_cls()
-        adversary = LocalStallAdversary(9, algorithm, seed=1)
-        result = SimulationEngine(
-            adversary,
-            instance.positions,
-            algorithm,
-            communication=CommunicationModel.LOCAL,
-            max_rounds=rounds,
-        ).run()
+    for candidate_cls, result in zip(LOCAL_CANDIDATES, runner.run(specs)):
         ok &= not result.dispersed
         rows.append((candidate_cls.name, rounds, result.dispersed))
     return CampaignSection(
@@ -197,26 +257,29 @@ def _section_impossibility_local(scale: str) -> CampaignSection:
     )
 
 
-def _section_impossibility_global(scale: str) -> CampaignSection:
-    from repro.adversary.global_impossibility import CliqueRewiringAdversary
+def _section_impossibility_global(scale: str, runner: Runner) -> CampaignSection:
     from repro.baselines.global_candidates import GLOBAL_NO1NK_CANDIDATES
 
     rounds = 100 if scale == "quick" else 400
     k, n = 8, 14
     positions = {i: i - 1 for i in range(1, k)}
     positions[k] = 0
-    rows = []
-    ok = True
-    for candidate_cls in GLOBAL_NO1NK_CANDIDATES:
-        algorithm = candidate_cls()
-        adversary = CliqueRewiringAdversary(n, algorithm, seed=1)
-        result = SimulationEngine(
-            adversary,
-            dict(positions),
-            algorithm,
+    specs = [
+        RunSpec(
+            graph=ComponentSpec("clique_rewiring", {"n": n, "seed": 1}),
+            placement=PlacementSpec(kind="explicit", positions=dict(positions)),
+            algorithm=ComponentSpec(candidate_cls.name),
             neighborhood_knowledge=False,
             max_rounds=rounds,
-        ).run()
+            label=f"clique_rewiring {candidate_cls.name}",
+        )
+        for candidate_cls in GLOBAL_NO1NK_CANDIDATES
+    ]
+    rows = []
+    ok = True
+    for candidate_cls, result in zip(
+        GLOBAL_NO1NK_CANDIDATES, runner.run(specs)
+    ):
         visited = set()
         for record in result.records:
             visited |= record.occupied_after
@@ -230,11 +293,10 @@ def _section_impossibility_global(scale: str) -> CampaignSection:
     )
 
 
-def _section_figure34(scale: str) -> CampaignSection:
+def _section_figure34(scale: str, runner: Runner) -> CampaignSection:
     from repro.analysis.figures import build_fig3_instance
     from repro.core.components import partition_into_components
     from repro.core.spanning_tree import build_spanning_tree
-    from repro.graph.dynamic import StaticDynamicGraph
     from repro.sim.observation import build_info_packets
 
     instance = build_fig3_instance()
@@ -245,11 +307,17 @@ def _section_figure34(scale: str) -> CampaignSection:
     roots = sorted(
         build_spanning_tree(c).root for c in components
     )
-    result = SimulationEngine(
-        StaticDynamicGraph(instance.snapshot),
-        instance.positions,
-        DispersionDynamic(),
-    ).run()
+    (result,) = runner.run(
+        [
+            RunSpec(
+                graph=ComponentSpec("fig3_static", {"n": instance.snapshot.n}),
+                placement=PlacementSpec(
+                    kind="explicit", positions=dict(instance.positions)
+                ),
+                label="fig3 worked example",
+            )
+        ]
+    )
     ok = (
         {tuple(c.representatives) for c in components}
         == {tuple(c) for c in instance.expected_components}
@@ -268,31 +336,35 @@ def _section_figure34(scale: str) -> CampaignSection:
     )
 
 
-def _section_ring(scale: str) -> CampaignSection:
-    from repro.baselines.ring_walk import RingWalkDispersion
-    from repro.graph.rings import RingDynamicGraph
-
+def _section_ring(scale: str, runner: Runner) -> CampaignSection:
     n, k = 12, 8
-    walker = RingWalkDispersion()
-    blocked = SimulationEngine(
-        RingDynamicGraph(n, mode="blocking", seed=1, algorithm=walker),
-        RobotSet.rooted(k, n),
-        walker,
-        communication=CommunicationModel.LOCAL,
-        max_rounds=150 if scale == "quick" else 400,
-    ).run()
-    paper_algorithm = DispersionDynamic()
-    paper = SimulationEngine(
-        RingDynamicGraph(
-            n,
-            mode="blocking",
-            seed=1,
-            algorithm=paper_algorithm,
-            communication=CommunicationModel.GLOBAL,
-        ),
-        RobotSet.rooted(k, n),
-        paper_algorithm,
-    ).run()
+    blocked, paper = runner.run(
+        [
+            RunSpec(
+                graph=ComponentSpec(
+                    "ring", {"n": n, "mode": "blocking", "seed": 1}
+                ),
+                placement=PlacementSpec(kind="rooted", k=k),
+                algorithm=ComponentSpec("ring_walk_dispersion"),
+                communication="local",
+                max_rounds=150 if scale == "quick" else 400,
+                label="ring walker (local)",
+            ),
+            RunSpec(
+                graph=ComponentSpec(
+                    "ring",
+                    {
+                        "n": n,
+                        "mode": "blocking",
+                        "seed": 1,
+                        "communication": "global",
+                    },
+                ),
+                placement=PlacementSpec(kind="rooted", k=k),
+                label="ring paper algorithm",
+            ),
+        ]
+    )
     ok = (not blocked.dispersed) and paper.dispersed and paper.rounds <= k - 1
     rows = [
         ("ring walker (local)", blocked.dispersed, blocked.rounds),
@@ -305,25 +377,24 @@ def _section_ring(scale: str) -> CampaignSection:
     )
 
 
-def _section_byzantine(scale: str) -> CampaignSection:
-    from repro.graph.dynamic import RandomChurnDynamicGraph
-    from repro.robots.byzantine import HideMultiplicity
-
+def _section_byzantine(scale: str, runner: Runner) -> CampaignSection:
     n, k = 20, 12
     budget = 120 if scale == "quick" else 300
-    honest = SimulationEngine(
-        RandomChurnDynamicGraph(n, extra_edges=n // 2, seed=2),
-        RobotSet.rooted(k, n),
-        DispersionDynamic(),
+    base = RunSpec(
+        graph=_CHURN(n, 2),
+        placement=PlacementSpec(kind="rooted", k=k),
         max_rounds=budget,
-    ).run()
-    attacked = SimulationEngine(
-        RandomChurnDynamicGraph(n, extra_edges=n // 2, seed=2),
-        RobotSet.rooted(k, n),
-        DispersionDynamic(),
-        byzantine_policies={1: HideMultiplicity()},
-        max_rounds=budget,
-    ).run()
+        label="byzantine honest",
+    )
+    honest, attacked = runner.run(
+        [
+            base,
+            base.with_(
+                byzantine={1: ComponentSpec("hide_multiplicity")},
+                label="byzantine 1 liar",
+            ),
+        ]
+    )
     ok = honest.dispersed and not attacked.dispersed and (
         attacked.total_moves == 0
     )
@@ -352,11 +423,25 @@ _SECTIONS = (
 )
 
 
-def run_campaign(scale: str = "quick") -> CampaignReport:
-    """Execute every experiment at the given scale; see module docstring."""
+def run_campaign(
+    scale: str = "quick", *, runner: Optional[Runner] = None
+) -> CampaignReport:
+    """Execute every experiment at the given scale; see module docstring.
+
+    ``runner`` is the execution backend the sections' spec grids go
+    through; omitted, everything runs serially in-process.
+    """
     if scale not in ("quick", "full"):
         raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
-    report = CampaignReport(scale=scale)
+    backend = runner or SerialRunner()
+    report = CampaignReport(scale=scale, backend=backend.name)
+    t_campaign = time.perf_counter()
     for build_section in _SECTIONS:
-        report.sections.append(build_section(scale))
+        counting = _CountingRunner(backend)
+        t_section = time.perf_counter()
+        section = build_section(scale, counting)
+        section.seconds = time.perf_counter() - t_section
+        section.runs = counting.count
+        report.sections.append(section)
+    report.total_seconds = time.perf_counter() - t_campaign
     return report

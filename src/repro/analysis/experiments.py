@@ -5,6 +5,15 @@ tests launch runs: one call builds the dynamic graph, the placement, the
 algorithm and the engine, and returns a compact :class:`DispersionOutcome`
 row.  Sweeps aggregate rows over seeds so benchmark output reports
 mean/min/max like the tables of an experimental-systems paper would.
+
+The sweeps are built on the declarative :class:`~repro.sim.spec.RunSpec`
+layer: :func:`rounds_vs_k_specs` / :func:`faults_specs` emit the spec
+grid, and the sweep functions execute it through a pluggable
+:class:`~repro.sim.runner.Runner` (pass ``runner=ProcessPoolRunner(...)``
+to fan a sweep across cores).  Passing a custom ``dynamics`` /
+``algorithm_factory`` *callable* still works as before -- those runs fall
+back to in-process execution since arbitrary callables are not
+serializable.
 """
 
 from __future__ import annotations
@@ -24,6 +33,8 @@ from repro.robots.robot import RobotSet
 from repro.sim.algorithm import RobotAlgorithm
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import RunResult
+from repro.sim.runner import Runner, SerialRunner
+from repro.sim.spec import ComponentSpec, CrashSpec, PlacementSpec, RunSpec
 
 
 @dataclass(frozen=True)
@@ -103,22 +114,123 @@ def run_dispersion(
     return engine.run()
 
 
+def rounds_vs_k_specs(
+    k_values: Sequence[int],
+    *,
+    n_for_k: Callable[[int], int] = lambda k: 2 * k,
+    extra_edges_per_node: float = 0.5,
+    rooted: bool = True,
+    seeds: Sequence[int] = (0, 1, 2),
+    algorithm: str = "dispersion_dynamic",
+) -> List[RunSpec]:
+    """The rounds-vs-k sweep as a declarative :class:`RunSpec` grid.
+
+    One spec per ``(k, seed)`` pair, in ``k``-major order, reproducing
+    :func:`sweep_rounds_vs_k`'s default (random-churn) instances exactly.
+    """
+    specs: List[RunSpec] = []
+    for k in k_values:
+        n = n_for_k(k)
+        for seed in seeds:
+            specs.append(
+                RunSpec(
+                    graph=ComponentSpec(
+                        "random_churn",
+                        {"n": n, "extra_edges": int(extra_edges_per_node * n)},
+                    ),
+                    placement=PlacementSpec(
+                        kind="rooted" if rooted else "arbitrary", k=k
+                    ),
+                    algorithm=ComponentSpec(algorithm),
+                    seed=seed,
+                    max_rounds=4 * k + 64,
+                    collect_records=False,
+                    label=f"k={k} seed={seed}",
+                )
+            )
+    return specs
+
+
+def faults_specs(
+    k: int,
+    f_values: Sequence[int],
+    *,
+    n: Optional[int] = None,
+    extra_edges_per_node: float = 0.5,
+    seeds: Sequence[int] = (0, 1, 2),
+    crash_window: Optional[int] = None,
+    phases: Optional[List[CrashPhase]] = None,
+) -> List[RunSpec]:
+    """The crash-fault sweep as a declarative :class:`RunSpec` grid.
+
+    One spec per ``(f, seed)`` pair, in ``f``-major order, reproducing
+    :func:`sweep_faults`'s default instances exactly (including the
+    ``fault:{k}:{f}:{seed}``-derived crash schedules).
+    """
+    n = n or 2 * k
+    window = crash_window if crash_window is not None else max(1, k // 2)
+    specs: List[RunSpec] = []
+    for f in f_values:
+        for seed in seeds:
+            specs.append(
+                RunSpec(
+                    graph=ComponentSpec(
+                        "random_churn",
+                        {"n": n, "extra_edges": int(extra_edges_per_node * n)},
+                    ),
+                    placement=PlacementSpec(kind="rooted", k=k),
+                    crash=CrashSpec(
+                        kind="random",
+                        f=f,
+                        max_round=window,
+                        phases=(
+                            tuple(p.value for p in phases)
+                            if phases is not None else None
+                        ),
+                    ),
+                    seed=seed,
+                    max_rounds=4 * k + 64,
+                    collect_records=False,
+                    label=f"k={k} f={f} seed={seed}",
+                )
+            )
+    return specs
+
+
 def sweep_rounds_vs_k(
     k_values: Sequence[int],
     *,
     n_for_k: Callable[[int], int] = lambda k: 2 * k,
     dynamics: Optional[DynamicsFactory] = None,
+    extra_edges_per_node: float = 0.5,
     rooted: bool = True,
     seeds: Sequence[int] = (0, 1, 2),
     algorithm_factory: Callable[[], RobotAlgorithm] = DispersionDynamic,
+    runner: Optional[Runner] = None,
 ) -> Dict[int, List[DispersionOutcome]]:
     """Rounds-to-dispersion as a function of ``k`` (Table I row 3 shape).
 
     Returns ``{k: [outcome per seed]}``.  Defaults: rooted starts on random
-    churn with ``n = 2k``.
+    churn with ``n = 2k`` and ``extra_edges_per_node * n`` churn edges.
+    The default grid executes through ``runner`` (:class:`SerialRunner` if
+    omitted); supplying a custom ``dynamics`` or ``algorithm_factory``
+    callable forces in-process execution since arbitrary callables cannot
+    be shipped to worker processes.
     """
-    dynamics = dynamics or churn_dynamics()
-    results: Dict[int, List[DispersionOutcome]] = {}
+    if dynamics is None and algorithm_factory is DispersionDynamic:
+        specs = rounds_vs_k_specs(
+            k_values, n_for_k=n_for_k, rooted=rooted, seeds=seeds,
+            extra_edges_per_node=extra_edges_per_node,
+        )
+        outcomes = (runner or SerialRunner()).run(specs)
+        results: Dict[int, List[DispersionOutcome]] = {}
+        for spec, result in zip(specs, outcomes):
+            results.setdefault(spec.placement.k, []).append(
+                DispersionOutcome.from_result(result)
+            )
+        return results
+    dynamics = dynamics or churn_dynamics(extra_edges_per_node)
+    results = {}
     for k in k_values:
         n = n_for_k(k)
         rows: List[DispersionOutcome] = []
@@ -149,18 +261,33 @@ def sweep_faults(
     seeds: Sequence[int] = (0, 1, 2),
     crash_window: Optional[int] = None,
     phases: Optional[List[CrashPhase]] = None,
+    runner: Optional[Runner] = None,
 ) -> Dict[int, List[DispersionOutcome]]:
     """Rounds-to-dispersion as a function of the crash count ``f``
     (Table I row 4 / Theorem 5 shape).
 
     Crashes are scheduled uniformly in ``[0, crash_window]`` (default:
     early, within the first ``k // 2`` rounds, which is the regime where
-    Theorem 5's O(k - f) saving is visible).
+    Theorem 5's O(k - f) saving is visible).  The default grid executes
+    through ``runner`` (:class:`SerialRunner` if omitted); a custom
+    ``dynamics`` callable forces in-process execution.
     """
+    if dynamics is None:
+        specs = faults_specs(
+            k, f_values, n=n, seeds=seeds,
+            crash_window=crash_window, phases=phases,
+        )
+        outcomes = (runner or SerialRunner()).run(specs)
+        results: Dict[int, List[DispersionOutcome]] = {}
+        for spec, result in zip(specs, outcomes):
+            assert spec.crash is not None
+            results.setdefault(spec.crash.f, []).append(
+                DispersionOutcome.from_result(result, faults=spec.crash.f)
+            )
+        return results
     n = n or 2 * k
-    dynamics = dynamics or churn_dynamics()
     window = crash_window if crash_window is not None else max(1, k // 2)
-    results: Dict[int, List[DispersionOutcome]] = {}
+    results = {}
     for f in f_values:
         rows: List[DispersionOutcome] = []
         for seed in seeds:

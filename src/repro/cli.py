@@ -7,18 +7,22 @@ Subcommands mirror the experiment suite:
 * ``faults``      -- rounds vs. f crash faults (Table I row 4 shape);
 * ``lower-bound`` -- the Theorem 3 star-star adversary (Figure 2 shape);
 * ``figure3``     -- the reconstructed Figure 3/4 worked example.
+
+``sweep``, ``faults`` and ``campaign`` accept ``--jobs N`` to fan their
+run grids across ``N`` worker processes (``--jobs -1`` uses every core);
+results are bit-identical to serial execution.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import List, Optional
 
 from repro.adversary.star_lower_bound import StarStarAdversary
 from repro.analysis.experiments import (
-    churn_dynamics,
     run_dispersion,
     summarize,
     sweep_faults,
@@ -30,6 +34,8 @@ from repro.core.dispersion import DispersionDynamic
 from repro.graph.dynamic import RandomChurnDynamicGraph
 from repro.robots.robot import RobotSet
 from repro.sim.engine import SimulationEngine
+from repro.sim.hooks import ProgressNarrator
+from repro.sim.runner import runner_from_jobs
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -41,18 +47,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         robots = RobotSet.arbitrary(args.k, args.n, random.Random(args.seed))
 
-    def narrate(record):
-        print(
-            f"round {record.round_index:>3}: occupied "
-            f"{len(record.occupied_before):>3} -> "
-            f"{len(record.occupied_after):>3}, moves {record.num_moves}"
-        )
-
     result = SimulationEngine(
         dyn,
         robots,
         DispersionDynamic(),
-        round_observers=[narrate] if args.live else None,
+        observers=[ProgressNarrator()] if args.live else None,
     ).run()
     print(result.summary())
     if args.trace:
@@ -77,12 +76,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     k_values = args.k_values or [8, 16, 32, 64, 128]
-    data = sweep_rounds_vs_k(
-        k_values,
-        dynamics=churn_dynamics(args.extra_edges_per_node),
-        rooted=args.rooted,
-        seeds=range(args.seeds),
-    )
+    with runner_from_jobs(args.jobs) as runner:
+        data = sweep_rounds_vs_k(
+            k_values,
+            extra_edges_per_node=args.extra_edges_per_node,
+            rooted=args.rooted,
+            seeds=range(args.seeds),
+            runner=runner,
+        )
     rows = []
     for k in k_values:
         stats = summarize(data[k])
@@ -109,7 +110,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_faults(args: argparse.Namespace) -> int:
     k = args.k
     f_values = args.f_values or [0, k // 8, k // 4, k // 2, (3 * k) // 4]
-    data = sweep_faults(k, f_values, seeds=range(args.seeds))
+    with runner_from_jobs(args.jobs) as runner:
+        data = sweep_faults(k, f_values, seeds=range(args.seeds), runner=runner)
     rows = []
     for f in f_values:
         stats = summarize(data[f])
@@ -165,8 +167,14 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.analysis.campaign import run_campaign
 
-    report = run_campaign(args.scale)
+    with runner_from_jobs(args.jobs) as runner:
+        report = run_campaign(args.scale, runner=runner)
     print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     return 0 if report.all_passed else 1
 
 
@@ -265,12 +273,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seeds", type=int, default=3)
     p_sweep.add_argument("--extra-edges-per-node", type=float, default=0.5)
     p_sweep.add_argument("--rooted", action="store_true", default=True)
+    p_sweep.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the sweep grid (-1: all cores)",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_faults = sub.add_parser("faults", help="rounds vs crash faults")
     p_faults.add_argument("--k", type=int, default=64)
     p_faults.add_argument("--f-values", type=int, nargs="*", default=None)
     p_faults.add_argument("--seeds", type=int, default=3)
+    p_faults.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the fault grid (-1: all cores)",
+    )
     p_faults.set_defaults(func=_cmd_faults)
 
     p_lb = sub.add_parser("lower-bound", help="Theorem 3 adversary")
@@ -287,6 +303,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_campaign.add_argument(
         "--scale", choices=("quick", "full"), default="quick"
+    )
+    p_campaign.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the campaign's run grids (-1: all cores)",
+    )
+    p_campaign.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the machine-readable report (timings + verdicts)",
     )
     p_campaign.set_defaults(func=_cmd_campaign)
 

@@ -42,6 +42,35 @@ from repro.sim.scheduling import (
     RandomSubsetActivation,
     RoundRobinActivation,
 )
+from repro.sim.hooks import (
+    CallbackObserver,
+    EngineObserver,
+    LiveInvariantChecker,
+    PhaseTimer,
+    ProgressNarrator,
+    TraceCollector,
+)
+from repro.sim.spec import (
+    ComponentSpec,
+    CrashSpec,
+    PlacementSpec,
+    RunSpec,
+    SpecError,
+    build_engine,
+    execute,
+    make_spec,
+    register_activation,
+    register_algorithm,
+    register_byzantine,
+    register_graph,
+    registered_components,
+)
+from repro.sim.runner import (
+    ProcessPoolRunner,
+    Runner,
+    SerialRunner,
+    runner_from_jobs,
+)
 
 __all__ = [
     "CommunicationModel",
@@ -63,6 +92,29 @@ __all__ = [
     "FullActivation",
     "RandomSubsetActivation",
     "RoundRobinActivation",
+    "EngineObserver",
+    "CallbackObserver",
+    "TraceCollector",
+    "ProgressNarrator",
+    "PhaseTimer",
+    "LiveInvariantChecker",
+    "ComponentSpec",
+    "PlacementSpec",
+    "CrashSpec",
+    "RunSpec",
+    "SpecError",
+    "make_spec",
+    "build_engine",
+    "execute",
+    "register_graph",
+    "register_algorithm",
+    "register_byzantine",
+    "register_activation",
+    "registered_components",
+    "Runner",
+    "SerialRunner",
+    "ProcessPoolRunner",
+    "runner_from_jobs",
     "verify_run",
     "dynamic_graph_to_script",
     "replay_and_verify",

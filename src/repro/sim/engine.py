@@ -36,6 +36,7 @@ from typing import (
 from repro.graph.dynamic import DynamicGraph, RoundContext
 from repro.graph.validation import validate_snapshot
 from repro.robots.faults import CrashPhase, CrashSchedule
+from repro.sim.hooks import CallbackObserver, EngineObserver, TraceCollector
 
 if TYPE_CHECKING:  # pragma: no cover - circular-import guard (annotations)
     from repro.robots.byzantine import ByzantinePolicy
@@ -82,6 +83,13 @@ class SimulationEngine:
         Safety cap; defaults to a generous bound well above O(k).
     collect_records:
         Set False to skip per-round records in large benchmark sweeps.
+    round_observers:
+        Legacy per-round callbacks ``callable(RoundRecord)``; kept for
+        backward compatibility and adapted onto the observer layer.
+    observers:
+        :class:`~repro.sim.hooks.EngineObserver` instances receiving the
+        per-phase instrumentation hooks (round start / communicate /
+        compute / move / round end); see :mod:`repro.sim.hooks`.
     """
 
     def __init__(
@@ -103,6 +111,7 @@ class SimulationEngine:
         round_observers: Optional[
             Sequence[Callable[[RoundRecord], None]]
         ] = None,
+        observers: Optional[Sequence[EngineObserver]] = None,
     ) -> None:
         if isinstance(robots, RobotSet):
             if robots.n != dynamic_graph.n:
@@ -144,7 +153,16 @@ class SimulationEngine:
         self._collect_snapshots = collect_snapshots
         self._validate_graphs = validate_graphs
         self._activation = activation_schedule or FullActivation()
-        self._round_observers = tuple(round_observers or ())
+        # Phase observers: new-style EngineObservers plus legacy plain
+        # callables (adapted).  Trace capture is itself an observer.
+        hooks: list = list(observers or ())
+        hooks += [CallbackObserver(fn) for fn in (round_observers or ())]
+        self._trace: Optional[TraceCollector] = (
+            TraceCollector() if collect_records else None
+        )
+        if self._trace is not None:
+            hooks.append(self._trace)
+        self._observers: Tuple[EngineObserver, ...] = tuple(hooks)
         self._byzantine: Dict[int, "ByzantinePolicy"] = dict(
             byzantine_policies or {}
         )
@@ -276,9 +294,14 @@ class SimulationEngine:
     # Main loop
     # ------------------------------------------------------------------
 
+    def _notify(self, method: str, *args) -> None:
+        for observer in self._observers:
+            getattr(observer, method)(*args)
+
     def run(self) -> RunResult:
         """Execute rounds until dispersion, crash-out, or the round cap."""
         self._algorithm.on_run_start(self._k, self._n)
+        self._notify("on_run_start", self._k, self._n)
 
         if self._is_dispersed():
             return self._result(
@@ -286,11 +309,9 @@ class SimulationEngine:
                 rounds=0,
                 total_moves=0,
                 max_bits=self._audit_memory(),
-                records=[],
                 detected=True,
             )
 
-        records = []
         total_moves = 0
         max_bits = 0
         round_index = 0
@@ -310,6 +331,7 @@ class SimulationEngine:
                 validate_snapshot(
                     snapshot, expected_n=self._n, round_index=round_index
                 )
+            self._notify("on_round_start", round_index, snapshot)
 
             crashed_before = self._apply_crashes(
                 round_index, CrashPhase.BEFORE_COMMUNICATE
@@ -320,7 +342,6 @@ class SimulationEngine:
                     rounds=round_index,
                     total_moves=total_moves,
                     max_bits=max_bits,
-                    records=records,
                     detected=False,
                 )
 
@@ -329,6 +350,7 @@ class SimulationEngine:
 
             if self._is_dispersed():
                 observations = self._communicate(snapshot, round_index)
+                self._notify("on_communicate", round_index, observations)
                 detected = all(
                     self._algorithm.detects_termination(observations[rid])
                     for rid in self._honest_positions()
@@ -338,13 +360,13 @@ class SimulationEngine:
                     rounds=round_index,
                     total_moves=total_moves,
                     max_bits=max_bits,
-                    records=records,
                     detected=detected,
                 )
 
             # Communicate.
             self._algorithm.on_round_start(round_index)
             observations = self._communicate(snapshot, round_index)
+            self._notify("on_communicate", round_index, observations)
 
             # Compute: collect the decisions of all *active* robots before
             # applying any (synchronous by default; a semi-synchronous
@@ -383,6 +405,7 @@ class SimulationEngine:
                         f"{robot_id}; expected StayDecision or MoveDecision"
                     )
                 decisions[robot_id] = decision
+            self._notify("on_compute", round_index, decisions)
 
             crashed_after = self._apply_crashes(
                 round_index, CrashPhase.AFTER_COMPUTE
@@ -412,34 +435,35 @@ class SimulationEngine:
             self._entry_ports = new_entry_ports
             total_moves += len(moved)
             self._ever_occupied.update(self._positions.values())
+            moved_tuple = tuple(moved)
+            self._notify(
+                "on_move", round_index, moved_tuple, dict(self._positions)
+            )
 
             round_bits = self._audit_memory()
             max_bits = max(max_bits, round_bits)
 
-            if self._collect_records or self._round_observers:
+            if self._observers:
                 record = RoundRecord(
-                        round_index=round_index,
-                        positions_before=positions_before,
-                        positions_after=dict(self._positions),
-                        moved_robots=tuple(moved),
-                        crashed_before_communicate=crashed_before,
-                        crashed_after_compute=crashed_after,
-                        occupied_before=occupied_before,
-                        occupied_after=frozenset(self._positions.values()),
-                        num_components=len(
-                            snapshot.induced_occupied_components(
-                                occupied_before
-                            )
-                        ),
+                    round_index=round_index,
+                    positions_before=positions_before,
+                    positions_after=dict(self._positions),
+                    moved_robots=moved_tuple,
+                    crashed_before_communicate=crashed_before,
+                    crashed_after_compute=crashed_after,
+                    occupied_before=occupied_before,
+                    occupied_after=frozenset(self._positions.values()),
+                    num_components=len(
+                        snapshot.induced_occupied_components(
+                            occupied_before
+                        )
+                    ),
                     max_persistent_bits=round_bits,
                     snapshot=(
                         snapshot if self._collect_snapshots else None
                     ),
                 )
-                if self._collect_records:
-                    records.append(record)
-                for observe in self._round_observers:
-                    observe(record)
+                self._notify("on_round_end", record)
             round_index += 1
 
         reason = (
@@ -452,7 +476,6 @@ class SimulationEngine:
             rounds=round_index,
             total_moves=total_moves,
             max_bits=max_bits,
-            records=records,
             detected=False,
         )
 
@@ -463,10 +486,10 @@ class SimulationEngine:
         rounds: int,
         total_moves: int,
         max_bits: int,
-        records,
         detected: bool,
     ) -> RunResult:
-        return RunResult(
+        records = self._trace.records if self._trace is not None else []
+        result = RunResult(
             reason=reason,
             rounds=rounds,
             k=self._k,
@@ -482,3 +505,5 @@ class SimulationEngine:
             records=records,
             algorithm_detected_termination=detected,
         )
+        self._notify("on_run_end", result)
+        return result

@@ -1,0 +1,135 @@
+"""Pluggable execution backends for grids of :class:`RunSpec`.
+
+A :class:`Runner` turns a sequence of specs into the matching sequence of
+:class:`~repro.sim.metrics.RunResult` s.  Two backends ship:
+
+* :class:`SerialRunner` -- runs specs one after another in-process.  The
+  reference backend: zero overhead, exact legacy behavior.
+* :class:`ProcessPoolRunner` -- fans specs out across a
+  ``concurrent.futures.ProcessPoolExecutor``.  Because specs are pure
+  data and :func:`repro.sim.spec.execute` is a module-level function of
+  the spec alone, every worker reconstructs its runs independently and
+  the results are **bit-identical** to the serial backend (the
+  equivalence is pinned by ``tests/test_runner.py`` and the
+  ``bench_runner_scaling`` benchmark report).
+
+Both backends return results **in spec order**, regardless of completion
+order, so downstream analysis can zip specs with results.
+
+:func:`runner_from_jobs` maps a CLI-style ``--jobs N`` value onto a
+backend (``N <= 1`` -> serial), which is how ``repro-dispersion
+sweep/faults/campaign --jobs`` and the ``REPRO_JOBS`` environment knob
+for benchmarks are implemented.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, List, Optional, Sequence
+
+from repro.sim.metrics import RunResult
+from repro.sim.spec import RunSpec, execute
+
+
+class Runner:
+    """Abstract execution backend for a sequence of :class:`RunSpec`."""
+
+    #: Human-readable backend name (used in reports and ``--json`` output).
+    name: str = "abstract"
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute every spec; results are returned in spec order."""
+        raise NotImplementedError
+
+    def map(self, specs: Iterable[RunSpec]) -> List[RunResult]:
+        """Alias of :meth:`run` accepting any iterable of specs."""
+        return self.run(list(specs))
+
+    def close(self) -> None:
+        """Release backend resources (no-op for stateless backends)."""
+
+    def __enter__(self) -> "Runner":
+        """Context-manager entry: the runner itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: close the backend."""
+        self.close()
+
+
+class SerialRunner(Runner):
+    """Runs every spec sequentially in the current process."""
+
+    name = "serial"
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute specs one by one, in order."""
+        return [execute(spec) for spec in specs]
+
+
+class ProcessPoolRunner(Runner):
+    """Fans specs out across worker processes.
+
+    ``max_workers=None`` uses ``os.cpu_count()``.  Workers are spawned
+    lazily on first :meth:`run` and reused across calls; call
+    :meth:`close` (or use the runner as a context manager) to shut the
+    pool down.  ``chunksize`` batches specs per worker round-trip --
+    raise it for grids of many very short runs.
+    """
+
+    name = "process_pool"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        *,
+        chunksize: int = 1,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def effective_workers(self) -> int:
+        """The worker count the pool will actually use."""
+        if self.max_workers is not None:
+            return self.max_workers
+        return os.cpu_count() or 1
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute specs across the pool; ``executor.map`` preserves
+        submission order, so results come back in spec order."""
+        if not specs:
+            return []
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return list(
+            self._pool.map(execute, specs, chunksize=self.chunksize)
+        )
+
+    def close(self) -> None:
+        """Shut down the worker pool."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def runner_from_jobs(jobs: Optional[int]) -> Runner:
+    """Map a ``--jobs N`` value onto a backend.
+
+    ``None``, ``0`` or ``1`` -> :class:`SerialRunner`; ``N >= 2`` ->
+    :class:`ProcessPoolRunner` with ``N`` workers; ``-1`` -> a pool
+    sized to the machine (``os.cpu_count()``).
+    """
+    if jobs is None or jobs in (0, 1):
+        return SerialRunner()
+    if jobs == -1:
+        return ProcessPoolRunner()
+    if jobs < -1:
+        raise ValueError(f"jobs must be >= -1, got {jobs}")
+    return ProcessPoolRunner(max_workers=jobs)

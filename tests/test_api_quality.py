@@ -34,6 +34,9 @@ PUBLIC_MODULES = [
     "repro.sim.scheduling",
     "repro.sim.invariants",
     "repro.sim.traceio",
+    "repro.sim.spec",
+    "repro.sim.runner",
+    "repro.sim.hooks",
     "repro.core",
     "repro.core.components",
     "repro.core.spanning_tree",

@@ -1,0 +1,102 @@
+"""Runner backends: serial/pool equivalence and ordering guarantees."""
+
+import pytest
+
+from repro.analysis.experiments import faults_specs, rounds_vs_k_specs
+from repro.sim.runner import (
+    ProcessPoolRunner,
+    Runner,
+    SerialRunner,
+    runner_from_jobs,
+)
+from repro.sim.spec import ComponentSpec, PlacementSpec, RunSpec
+from repro.sim.traceio import run_result_to_dict
+
+
+def _grid():
+    # A structurally diverse grid: plain sweeps, crash schedules, and a
+    # couple of distinct graph processes -- small enough to run in CI.
+    specs = rounds_vs_k_specs([4, 8], seeds=(0, 1))
+    specs += faults_specs(8, [0, 2], seeds=(0,))
+    specs.append(
+        RunSpec(
+            graph=ComponentSpec("ring", {"n": 10, "mode": "random", "seed": 3}),
+            placement=PlacementSpec(kind="rooted", k=6),
+            max_rounds=80,
+            label="ring random",
+        )
+    )
+    return specs
+
+
+class TestSerialRunner:
+    def test_results_in_spec_order(self):
+        specs = _grid()
+        results = SerialRunner().run(specs)
+        assert len(results) == len(specs)
+        for spec, result in zip(specs, results):
+            assert result.k == spec.placement.k
+
+    def test_empty_grid(self):
+        assert SerialRunner().run([]) == []
+
+
+class TestProcessPoolRunner:
+    def test_bit_identical_to_serial(self):
+        specs = _grid()
+        serial = SerialRunner().run(specs)
+        with ProcessPoolRunner(max_workers=2) as pool:
+            parallel = pool.run(specs)
+        assert [run_result_to_dict(r) for r in serial] == [
+            run_result_to_dict(r) for r in parallel
+        ]
+
+    def test_order_preserved_with_uneven_run_lengths(self):
+        # First spec is much heavier than the rest: completion order
+        # differs from submission order, results must not.
+        specs = list(reversed(rounds_vs_k_specs([4, 8, 16, 32], seeds=(0,))))
+        with ProcessPoolRunner(max_workers=2) as pool:
+            results = pool.run(specs)
+        assert [r.k for r in results] == [s.placement.k for s in specs]
+
+    def test_pool_reuse_and_empty_grid(self):
+        with ProcessPoolRunner(max_workers=2) as pool:
+            assert pool.run([]) == []
+            first = pool.run(_grid()[:2])
+            second = pool.run(_grid()[:2])
+        assert [run_result_to_dict(r) for r in first] == [
+            run_result_to_dict(r) for r in second
+        ]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ProcessPoolRunner(max_workers=0)
+        with pytest.raises(ValueError):
+            ProcessPoolRunner(chunksize=0)
+
+
+class TestRunnerFromJobs:
+    def test_mapping(self):
+        assert isinstance(runner_from_jobs(None), SerialRunner)
+        assert isinstance(runner_from_jobs(0), SerialRunner)
+        assert isinstance(runner_from_jobs(1), SerialRunner)
+        pool = runner_from_jobs(4)
+        assert isinstance(pool, ProcessPoolRunner)
+        assert pool.effective_workers == 4
+        all_cores = runner_from_jobs(-1)
+        assert isinstance(all_cores, ProcessPoolRunner)
+        assert all_cores.max_workers is None
+        with pytest.raises(ValueError):
+            runner_from_jobs(-2)
+
+    def test_runners_are_context_managers(self):
+        with runner_from_jobs(None) as runner:
+            assert isinstance(runner, Runner)
+
+    def test_sweep_accepts_pool_runner(self):
+        from repro.analysis.experiments import sweep_rounds_vs_k
+
+        serial = sweep_rounds_vs_k([4, 8], seeds=(0, 1))
+        with ProcessPoolRunner(max_workers=2) as pool:
+            parallel = sweep_rounds_vs_k([4, 8], seeds=(0, 1), runner=pool)
+        assert serial == parallel

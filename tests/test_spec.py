@@ -1,0 +1,209 @@
+"""The declarative RunSpec layer: serialization and engine parity.
+
+Covers the ISSUE's satellite contracts:
+
+* ``RunSpec -> dict -> RunSpec`` / ``RunSpec -> json -> RunSpec``
+  round-trips are the identity, property-tested over a generated grid of
+  placements, crash schedules, byzantine assignments and engine knobs;
+* a spec-built engine behaves **identically** to one assembled from
+  direct ``SimulationEngine`` kwargs -- in particular the
+  ``collect_records=False`` path and the ``allow_model_mismatch``
+  override, the two knobs most at risk of drifting when the construction
+  path is abstracted away.
+"""
+
+import random
+
+import pytest
+
+from repro.core.dispersion import DispersionDynamic
+from repro.graph.dynamic import RandomChurnDynamicGraph
+from repro.robots.robot import RobotSet
+from repro.sim.engine import SimulationEngine
+from repro.sim.spec import (
+    ComponentSpec,
+    CrashSpec,
+    PlacementSpec,
+    RunSpec,
+    SpecError,
+    build_engine,
+    execute,
+    make_spec,
+)
+from repro.sim.traceio import run_result_to_dict
+
+
+def _spec_grid():
+    """A deterministic property-test grid of structurally varied specs."""
+    rng = random.Random(2024)
+    specs = []
+    for i in range(40):
+        kind = rng.choice(["rooted", "arbitrary", "explicit"])
+        n = rng.randint(6, 24)
+        k = rng.randint(2, n)
+        if kind == "explicit":
+            placement = PlacementSpec(
+                kind="explicit",
+                positions={
+                    r + 1: rng.randrange(n) for r in range(k)
+                },
+            )
+        elif kind == "arbitrary":
+            placement = PlacementSpec(
+                kind="arbitrary", k=k,
+                num_occupied=rng.choice([None, max(1, k // 2)]),
+            )
+        else:
+            placement = PlacementSpec(kind="rooted", k=k, root=rng.randrange(n))
+        crash = rng.choice(
+            [
+                None,
+                CrashSpec(kind="random", f=min(2, k), max_round=rng.randint(0, 9)),
+                CrashSpec(
+                    kind="events",
+                    events=((1, rng.randint(0, 5), "before_communicate"),),
+                ),
+            ]
+        )
+        byzantine = rng.choice(
+            [
+                {},
+                {1: ComponentSpec("hide_multiplicity")},
+                {
+                    1: ComponentSpec("scramble_neighbors"),
+                    2: ComponentSpec("hide_multiplicity"),
+                },
+            ]
+        )
+        activation = rng.choice(
+            [
+                None,
+                ComponentSpec("full"),
+                ComponentSpec("random_subset", {"p": 0.5, "seed": i}),
+                ComponentSpec("round_robin", {"window": 3}),
+            ]
+        )
+        specs.append(
+            RunSpec(
+                graph=ComponentSpec(
+                    "random_churn",
+                    {"n": n, "extra_edges": rng.randint(0, n)},
+                ),
+                placement=placement,
+                algorithm=ComponentSpec("dispersion_dynamic"),
+                communication=rng.choice(["global", "local"]),
+                neighborhood_knowledge=rng.choice([True, False]),
+                crash=crash,
+                byzantine=byzantine,
+                activation=activation,
+                seed=rng.randint(0, 10_000),
+                max_rounds=rng.choice([None, rng.randint(1, 500)]),
+                collect_records=rng.choice([True, False]),
+                collect_snapshots=rng.choice([True, False]),
+                validate_graphs=rng.choice([True, False]),
+                allow_model_mismatch=rng.choice([True, False]),
+                label=rng.choice(["", f"case {i}"]),
+            )
+        )
+    return specs
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self):
+        for spec in _spec_grid():
+            assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip_is_identity(self):
+        for spec in _spec_grid():
+            assert RunSpec.from_json(spec.to_json()) == spec
+
+    def test_json_is_stable_text(self):
+        # Serializing twice gives the same canonical text (sorted keys).
+        for spec in _spec_grid()[:10]:
+            assert spec.to_json() == RunSpec.from_json(spec.to_json()).to_json()
+
+    def test_unknown_format_version_rejected(self):
+        data = _spec_grid()[0].to_dict()
+        data["format_version"] = 99
+        with pytest.raises(SpecError):
+            RunSpec.from_dict(data)
+
+
+class TestValidation:
+    def test_unknown_graph_component(self):
+        spec = make_spec("no_such_process", {"n": 8}, k=4)
+        with pytest.raises(SpecError, match="no_such_process"):
+            execute(spec)
+
+    def test_unknown_placement_kind(self):
+        with pytest.raises(SpecError):
+            PlacementSpec(kind="teleport", k=3)
+
+    def test_graph_params_require_n(self):
+        spec = make_spec("random_churn", {}, k=4)
+        with pytest.raises(SpecError, match="'n'"):
+            execute(spec)
+
+    def test_bad_communication_value(self):
+        with pytest.raises(SpecError):
+            make_spec("random_churn", {"n": 8}, k=4, communication="psychic")
+
+
+def _direct_engine(**overrides):
+    dyn = RandomChurnDynamicGraph(12, extra_edges=6, seed=5)
+    robots = RobotSet.rooted(8, 12)
+    kwargs = dict(max_rounds=96)
+    kwargs.update(overrides)
+    return SimulationEngine(dyn, robots, DispersionDynamic(), **kwargs)
+
+
+def _base_spec(**overrides) -> RunSpec:
+    spec = RunSpec(
+        graph=ComponentSpec("random_churn", {"n": 12, "extra_edges": 6, "seed": 5}),
+        placement=PlacementSpec(kind="rooted", k=8),
+        max_rounds=96,
+    )
+    return spec.with_(**overrides) if overrides else spec
+
+
+class TestEngineParity:
+    """collect_records / allow_model_mismatch must not drift between the
+    direct-kwargs path and the spec path (the ISSUE's latent-drift fix)."""
+
+    def test_default_paths_identical(self):
+        assert run_result_to_dict(execute(_base_spec())) == run_result_to_dict(
+            _direct_engine().run()
+        )
+
+    def test_collect_records_false_identical(self):
+        via_spec = execute(_base_spec(collect_records=False))
+        direct = _direct_engine(collect_records=False).run()
+        assert run_result_to_dict(via_spec) == run_result_to_dict(direct)
+        # ...and the knob actually took effect on both paths.
+        assert via_spec.records == []
+        assert direct.records == []
+        # Headline metrics survive the records being dropped.
+        with_records = execute(_base_spec())
+        assert via_spec.rounds == with_records.rounds
+        assert via_spec.total_moves == with_records.total_moves
+        assert via_spec.final_positions == with_records.final_positions
+
+    def test_model_mismatch_raises_on_both_paths(self):
+        with pytest.raises(ValueError, match="allow_model_mismatch"):
+            _direct_engine(neighborhood_knowledge=False)
+        with pytest.raises(ValueError, match="allow_model_mismatch"):
+            build_engine(_base_spec(neighborhood_knowledge=False))
+
+    def test_model_mismatch_override_identical(self):
+        via_spec = execute(
+            _base_spec(neighborhood_knowledge=False, allow_model_mismatch=True)
+        )
+        direct = _direct_engine(
+            neighborhood_knowledge=False, allow_model_mismatch=True
+        ).run()
+        assert run_result_to_dict(via_spec) == run_result_to_dict(direct)
+
+    def test_collect_snapshots_identical(self):
+        via_spec = execute(_base_spec(collect_snapshots=True))
+        direct = _direct_engine(collect_snapshots=True).run()
+        assert run_result_to_dict(via_spec) == run_result_to_dict(direct)
