@@ -1,0 +1,70 @@
+"""Run-store amortization: cold compute vs. warm content-addressed reads.
+
+The acceptance experiment for the run-store redesign: the full-scale
+rounds-vs-k grid is executed twice through a
+:class:`~repro.sim.store.CachingRunner` backed by a fresh
+:class:`~repro.sim.store.RunStore`.  The first (cold) pass computes and
+writes every entry; the second (warm) pass must be served entirely from
+disk -- zero recomputed specs -- with results **bit-identical** to the
+cold pass, and must amortize to at least 5x faster than cold compute.
+
+The committed report records both timings, the hit/miss counters, the
+per-run amortized cost and the store's on-disk footprint, so the numbers
+quantify what a resumed or repeated campaign actually costs.
+"""
+
+import time
+
+from repro.analysis.experiments import rounds_vs_k_specs
+from repro.sim.runner import SerialRunner
+from repro.sim.store import CachingRunner, RunStore
+from repro.sim.traceio import run_result_to_dict
+
+K_VALUES = [8, 16, 32, 64, 128, 256]
+SEEDS = (0, 1)
+
+
+def test_warm_store_amortizes_cold_compute(tmp_path, benchmark, report):
+    specs = rounds_vs_k_specs(K_VALUES, seeds=SEEDS)
+    root = tmp_path / "store"
+
+    cold_store = RunStore(root)
+    t0 = time.perf_counter()
+    cold_results = CachingRunner(SerialRunner(), cold_store).run(specs)
+    cold_seconds = time.perf_counter() - t0
+    assert (cold_store.hits, cold_store.misses) == (0, len(specs))
+
+    warm_store = RunStore(root)
+    t0 = time.perf_counter()
+    warm_results = CachingRunner(SerialRunner(), warm_store).run(specs)
+    warm_seconds = time.perf_counter() - t0
+    assert (warm_store.hits, warm_store.misses) == (len(specs), 0)
+
+    for spec, a, b in zip(specs, cold_results, warm_results):
+        assert run_result_to_dict(a) == run_result_to_dict(b), spec.label
+
+    stats = warm_store.stats()
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else 0.0
+    report.table(
+        ("pass", "runs", "hits", "recomputed", "seconds", "ms/run"),
+        [
+            ("cold", len(specs), 0, len(specs), round(cold_seconds, 3),
+             round(1000 * cold_seconds / len(specs), 2)),
+            ("warm", len(specs), len(specs), 0, round(warm_seconds, 3),
+             round(1000 * warm_seconds / len(specs), 2)),
+        ],
+        title=(
+            f"run-store amortization -- full rounds-vs-k grid "
+            f"(k up to {max(K_VALUES)}, {len(SEEDS)} seeds)"
+        ),
+    )
+    report.line(
+        f"warm pass {speedup:.1f}x faster than cold; "
+        f"{stats.entries} entries, {stats.size_bytes} bytes on disk; "
+        "warm results bit-identical to cold"
+    )
+    assert speedup >= 5.0, (
+        f"expected warm >= 5x faster than cold, measured {speedup:.2f}x"
+    )
+
+    benchmark(lambda: CachingRunner(SerialRunner(), RunStore(root)).run(specs))

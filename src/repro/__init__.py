@@ -18,7 +18,17 @@ The package implements the paper end to end:
 * experiment harnesses regenerating every table and figure of the paper
   (:mod:`repro.analysis`, plus the ``benchmarks/`` tree of the repo).
 
-Quickstart::
+Quickstart (declarative)::
+
+    import repro
+
+    spec = repro.make_spec(
+        "random_churn", {"n": 40, "extra_edges": 20}, k=30, seed=7
+    )
+    result = repro.run(spec)
+    assert result.dispersed and result.rounds <= 30
+
+Quickstart (imperative)::
 
     import random
     from repro import (
@@ -30,6 +40,13 @@ Quickstart::
     robots = RobotSet.arbitrary(k=30, n=40, rng=random.Random(7))
     result = SimulationEngine(dyn, robots, DispersionDynamic()).run()
     assert result.dispersed and result.rounds <= 30
+
+The stable top-level surface for notebooks and downstream code is
+:func:`repro.run` / :func:`repro.sweep` over :class:`repro.RunSpec`
+(built directly or with :func:`repro.make_spec`), with
+:class:`repro.RunStore` for persistent, content-addressed result
+caching; deep module paths remain available but are not needed for the
+common workflows.
 """
 
 from repro.graph import (
@@ -81,8 +98,64 @@ from repro.core import (
     compute_sliding_moves,
     partition_into_components,
 )
+from repro.sim import (
+    CachingRunner,
+    ComponentSpec,
+    CrashSpec,
+    PlacementSpec,
+    ProcessPoolRunner,
+    Runner,
+    RunnerError,
+    RunSpec,
+    RunStore,
+    SerialRunner,
+    SpecError,
+    execute,
+    make_spec,
+    runner_from_jobs,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def run(spec: RunSpec, *, store: "RunStore | None" = None) -> RunResult:
+    """Execute one :class:`RunSpec` deterministically.
+
+    With ``store`` (a :class:`RunStore`), the run is served from the
+    content-addressed cache when stored and written through otherwise --
+    the result is identical either way.
+    """
+    if store is not None:
+        cached = store.get(spec)
+        if cached is not None:
+            return cached
+    result = execute(spec)
+    if store is not None:
+        store.put(spec, result)
+    return result
+
+
+def sweep(
+    specs,
+    *,
+    jobs: "int | None" = None,
+    store: "RunStore | None" = None,
+    timeout: "float | None" = None,
+    retries: int = 0,
+) -> "list[RunResult]":
+    """Execute a grid of :class:`RunSpec` s, in spec order.
+
+    ``jobs`` picks the backend exactly like the CLI's ``--jobs`` (``<=
+    1``: in-process serial; ``N``: a fault-tolerant ``N``-worker process
+    pool; ``-1``: all cores).  ``timeout`` / ``retries`` bound each
+    unit's wall clock and retry budget on the pool.  ``store`` serves
+    hits from and writes misses through a :class:`RunStore`, making
+    interrupted sweeps resumable.
+    """
+    with runner_from_jobs(
+        jobs, timeout=timeout, retries=retries, store=store
+    ) as runner:
+        return runner.run(list(specs))
 
 __all__ = [
     # graph
@@ -130,5 +203,22 @@ __all__ = [
     "compute_disjoint_paths",
     "compute_sliding_moves",
     "partition_into_components",
+    # stable top-level workflow surface
+    "run",
+    "sweep",
+    "execute",
+    "make_spec",
+    "RunSpec",
+    "ComponentSpec",
+    "PlacementSpec",
+    "CrashSpec",
+    "SpecError",
+    "RunStore",
+    "CachingRunner",
+    "Runner",
+    "RunnerError",
+    "SerialRunner",
+    "ProcessPoolRunner",
+    "runner_from_jobs",
     "__version__",
 ]

@@ -16,6 +16,12 @@ and turns the results into a verdict.  The report records per-section
 wall-clock and run counts; ``CampaignReport.to_dict()`` is the
 machine-readable form ``repro-dispersion campaign --json`` writes.
 
+Campaigns are *resumable*: pass ``store=RunStore(...)`` (or let the CLI
+default to the user cache dir) and every run is keyed by its spec's
+content hash -- an interrupted or repeated campaign re-executes only the
+specs that are not already stored, and the report's ``cache`` block
+says how many runs were served from disk versus recomputed.
+
 Scales: ``"quick"`` (seconds; k up to 64) and ``"full"`` (the benchmark
 suite's sizes, k up to 256).
 """
@@ -34,6 +40,7 @@ from repro.robots.faults import CrashPhase
 from repro.sim.metrics import RunResult
 from repro.sim.runner import Runner, SerialRunner
 from repro.sim.spec import ComponentSpec, PlacementSpec, RunSpec
+from repro.sim.store import CachingRunner, RunStore
 
 
 @dataclass
@@ -69,6 +76,7 @@ class CampaignReport:
     sections: List[CampaignSection] = field(default_factory=list)
     backend: str = "serial"
     total_seconds: float = 0.0
+    cache: Optional[Dict[str, int]] = None
 
     @property
     def all_passed(self) -> bool:
@@ -84,6 +92,11 @@ class CampaignReport:
         )
         blocks = [header, "=" * len(header)]
         blocks += [section.render() for section in self.sections]
+        if self.cache is not None:
+            blocks.append(
+                f"cache: {self.cache['hits']} hits, "
+                f"{self.cache['recomputed']} recomputed"
+            )
         return "\n\n".join(blocks)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -95,6 +108,7 @@ class CampaignReport:
             "all_passed": self.all_passed,
             "total_seconds": round(self.total_seconds, 6),
             "total_runs": sum(s.runs for s in self.sections),
+            "cache": self.cache,
             "sections": [section.to_dict() for section in self.sections],
         }
 
@@ -424,16 +438,31 @@ _SECTIONS = (
 
 
 def run_campaign(
-    scale: str = "quick", *, runner: Optional[Runner] = None
+    scale: str = "quick",
+    *,
+    runner: Optional[Runner] = None,
+    store: Optional[RunStore] = None,
 ) -> CampaignReport:
     """Execute every experiment at the given scale; see module docstring.
 
     ``runner`` is the execution backend the sections' spec grids go
-    through; omitted, everything runs serially in-process.
+    through; omitted, everything runs serially in-process.  ``store``
+    caches every run by content hash, making the campaign resumable;
+    the report then carries a ``cache`` block with hit/miss/recomputed
+    counts for this invocation.  (A ``runner`` that is already a
+    :class:`CachingRunner` is introspected instead of re-wrapped.)
     """
     if scale not in ("quick", "full"):
         raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
     backend = runner or SerialRunner()
+    if store is not None and not (
+        isinstance(backend, CachingRunner)
+        and backend.store.same_target(store)
+    ):
+        backend = CachingRunner(backend, store)
+    cache_store = backend.store if isinstance(backend, CachingRunner) else None
+    hits_before = cache_store.hits if cache_store is not None else 0
+    misses_before = cache_store.misses if cache_store is not None else 0
     report = CampaignReport(scale=scale, backend=backend.name)
     t_campaign = time.perf_counter()
     for build_section in _SECTIONS:
@@ -444,4 +473,11 @@ def run_campaign(
         section.runs = counting.count
         report.sections.append(section)
     report.total_seconds = time.perf_counter() - t_campaign
+    if cache_store is not None:
+        misses = cache_store.misses - misses_before
+        report.cache = {
+            "hits": cache_store.hits - hits_before,
+            "misses": misses,
+            "recomputed": misses,
+        }
     return report

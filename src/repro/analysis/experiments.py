@@ -10,10 +10,13 @@ The sweeps are built on the declarative :class:`~repro.sim.spec.RunSpec`
 layer: :func:`rounds_vs_k_specs` / :func:`faults_specs` emit the spec
 grid, and the sweep functions execute it through a pluggable
 :class:`~repro.sim.runner.Runner` (pass ``runner=ProcessPoolRunner(...)``
-to fan a sweep across cores).  Passing a custom ``dynamics`` /
-``algorithm_factory`` *callable* still works as before -- those runs fall
-back to in-process execution since arbitrary callables are not
-serializable.
+to fan a sweep across cores) and optionally through a
+:class:`~repro.sim.store.RunStore` (pass ``store=...``): stored specs
+are served from the cache, so an interrupted sweep resumes where it
+stopped and an identical re-run costs only disk reads.  Passing a custom
+``dynamics`` / ``algorithm_factory`` *callable* still works as before --
+those runs fall back to in-process execution since arbitrary callables
+are not serializable (and are never cached).
 """
 
 from __future__ import annotations
@@ -35,6 +38,20 @@ from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import RunResult
 from repro.sim.runner import Runner, SerialRunner
 from repro.sim.spec import ComponentSpec, CrashSpec, PlacementSpec, RunSpec
+from repro.sim.store import CachingRunner, RunStore
+
+
+def _grid_backend(
+    runner: Optional[Runner], store: Optional[RunStore]
+) -> Runner:
+    """The effective backend: ``runner`` (serial default), cached if asked."""
+    backend = runner or SerialRunner()
+    if store is not None and not (
+        isinstance(backend, CachingRunner)
+        and backend.store.same_target(store)
+    ):
+        backend = CachingRunner(backend, store)
+    return backend
 
 
 @dataclass(frozen=True)
@@ -207,22 +224,24 @@ def sweep_rounds_vs_k(
     seeds: Sequence[int] = (0, 1, 2),
     algorithm_factory: Callable[[], RobotAlgorithm] = DispersionDynamic,
     runner: Optional[Runner] = None,
+    store: Optional[RunStore] = None,
 ) -> Dict[int, List[DispersionOutcome]]:
     """Rounds-to-dispersion as a function of ``k`` (Table I row 3 shape).
 
     Returns ``{k: [outcome per seed]}``.  Defaults: rooted starts on random
     churn with ``n = 2k`` and ``extra_edges_per_node * n`` churn edges.
     The default grid executes through ``runner`` (:class:`SerialRunner` if
-    omitted); supplying a custom ``dynamics`` or ``algorithm_factory``
-    callable forces in-process execution since arbitrary callables cannot
-    be shipped to worker processes.
+    omitted), optionally cached in ``store``; supplying a custom
+    ``dynamics`` or ``algorithm_factory`` callable forces in-process,
+    uncached execution since arbitrary callables cannot be shipped to
+    worker processes or hashed into a cache key.
     """
     if dynamics is None and algorithm_factory is DispersionDynamic:
         specs = rounds_vs_k_specs(
             k_values, n_for_k=n_for_k, rooted=rooted, seeds=seeds,
             extra_edges_per_node=extra_edges_per_node,
         )
-        outcomes = (runner or SerialRunner()).run(specs)
+        outcomes = _grid_backend(runner, store).run(specs)
         results: Dict[int, List[DispersionOutcome]] = {}
         for spec, result in zip(specs, outcomes):
             results.setdefault(spec.placement.k, []).append(
@@ -262,6 +281,7 @@ def sweep_faults(
     crash_window: Optional[int] = None,
     phases: Optional[List[CrashPhase]] = None,
     runner: Optional[Runner] = None,
+    store: Optional[RunStore] = None,
 ) -> Dict[int, List[DispersionOutcome]]:
     """Rounds-to-dispersion as a function of the crash count ``f``
     (Table I row 4 / Theorem 5 shape).
@@ -269,15 +289,16 @@ def sweep_faults(
     Crashes are scheduled uniformly in ``[0, crash_window]`` (default:
     early, within the first ``k // 2`` rounds, which is the regime where
     Theorem 5's O(k - f) saving is visible).  The default grid executes
-    through ``runner`` (:class:`SerialRunner` if omitted); a custom
-    ``dynamics`` callable forces in-process execution.
+    through ``runner`` (:class:`SerialRunner` if omitted), optionally
+    cached in ``store``; a custom ``dynamics`` callable forces
+    in-process, uncached execution.
     """
     if dynamics is None:
         specs = faults_specs(
             k, f_values, n=n, seeds=seeds,
             crash_window=crash_window, phases=phases,
         )
-        outcomes = (runner or SerialRunner()).run(specs)
+        outcomes = _grid_backend(runner, store).run(specs)
         results: Dict[int, List[DispersionOutcome]] = {}
         for spec, result in zip(specs, outcomes):
             assert spec.crash is not None

@@ -6,11 +6,18 @@ Subcommands mirror the experiment suite:
 * ``sweep``       -- rounds vs. k on random churn (Table I row 3 shape);
 * ``faults``      -- rounds vs. f crash faults (Table I row 4 shape);
 * ``lower-bound`` -- the Theorem 3 star-star adversary (Figure 2 shape);
-* ``figure3``     -- the reconstructed Figure 3/4 worked example.
+* ``figure3``     -- the reconstructed Figure 3/4 worked example;
+* ``cache``       -- inspect (``stats``) or clean (``gc``, ``clear``)
+  the content-addressed run store.
 
 ``sweep``, ``faults`` and ``campaign`` accept ``--jobs N`` to fan their
 run grids across ``N`` worker processes (``--jobs -1`` uses every core);
-results are bit-identical to serial execution.
+results are bit-identical to serial execution.  The same three commands
+cache every run in a content-addressed store (``$REPRO_CACHE_DIR`` or
+the user cache dir; override with ``--cache-dir``, opt out with
+``--no-cache``), which makes interrupted campaigns resumable and repeat
+invocations nearly free.  ``--timeout S`` / ``--retries N`` bound each
+work unit's wall clock and retry budget when running with ``--jobs``.
 """
 
 from __future__ import annotations
@@ -36,6 +43,47 @@ from repro.robots.robot import RobotSet
 from repro.sim.engine import SimulationEngine
 from repro.sim.hooks import ProgressNarrator
 from repro.sim.runner import runner_from_jobs
+from repro.sim.store import RunStore
+
+
+def _add_execution_args(parser: argparse.ArgumentParser, what: str) -> None:
+    """The shared execution/caching flags of sweep/faults/campaign."""
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help=f"worker processes for {what} (-1: all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="run-store location (default: $REPRO_CACHE_DIR or the user "
+        "cache dir)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every run; do not read or write the run store",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-unit wall-clock limit in seconds (with --jobs)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry budget per work unit (with --jobs)",
+    )
+
+
+def _store_from_args(args: argparse.Namespace) -> Optional[RunStore]:
+    """The run store the command should use, or None with ``--no-cache``."""
+    if args.no_cache:
+        return None
+    return RunStore(args.cache_dir)
+
+
+def _print_cache_line(store: Optional[RunStore]) -> None:
+    if store is not None:
+        print(
+            f"cache: {store.hits} hits, {store.misses} misses "
+            f"({store.root})"
+        )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -76,7 +124,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     k_values = args.k_values or [8, 16, 32, 64, 128]
-    with runner_from_jobs(args.jobs) as runner:
+    store = _store_from_args(args)
+    with runner_from_jobs(
+        args.jobs, timeout=args.timeout, retries=args.retries, store=store
+    ) as runner:
         data = sweep_rounds_vs_k(
             k_values,
             extra_edges_per_node=args.extra_edges_per_node,
@@ -104,13 +155,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             title="rounds to dispersion vs k (random churn, Theorem 4 shape)",
         )
     )
+    _print_cache_line(store)
     return 0
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
     k = args.k
     f_values = args.f_values or [0, k // 8, k // 4, k // 2, (3 * k) // 4]
-    with runner_from_jobs(args.jobs) as runner:
+    store = _store_from_args(args)
+    with runner_from_jobs(
+        args.jobs, timeout=args.timeout, retries=args.retries, store=store
+    ) as runner:
         data = sweep_faults(k, f_values, seeds=range(args.seeds), runner=runner)
     rows = []
     for f in f_values:
@@ -123,6 +178,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             title=f"rounds vs crash faults, k={k} (Theorem 5 shape)",
         )
     )
+    _print_cache_line(store)
     return 0
 
 
@@ -167,8 +223,12 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.analysis.campaign import run_campaign
 
-    with runner_from_jobs(args.jobs) as runner:
-        report = run_campaign(args.scale, runner=runner)
+    scale = "quick" if args.quick else args.scale
+    store = _store_from_args(args)
+    with runner_from_jobs(
+        args.jobs, timeout=args.timeout, retries=args.retries, store=store
+    ) as runner:
+        report = run_campaign(scale, runner=runner)
     print(report.render())
     if args.json:
         with open(args.json, "w") as handle:
@@ -238,6 +298,30 @@ def _cmd_ring(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = RunStore(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(stats.render())
+    elif args.cache_command == "gc":
+        outcome = store.gc(
+            max_entries=args.max_entries,
+            max_bytes=args.max_bytes,
+            drop_stale=not args.keep_stale,
+        )
+        print(
+            f"gc: removed {outcome['removed']} entries, "
+            f"kept {outcome['kept']} ({store.root})"
+        )
+    else:  # clear
+        removed = store.clear()
+        print(f"clear: removed {removed} entries ({store.root})")
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.analysis.paper_table import table1
 
@@ -273,20 +357,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seeds", type=int, default=3)
     p_sweep.add_argument("--extra-edges-per-node", type=float, default=0.5)
     p_sweep.add_argument("--rooted", action="store_true", default=True)
-    p_sweep.add_argument(
-        "--jobs", type=int, default=None,
-        help="worker processes for the sweep grid (-1: all cores)",
-    )
+    _add_execution_args(p_sweep, "the sweep grid")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_faults = sub.add_parser("faults", help="rounds vs crash faults")
     p_faults.add_argument("--k", type=int, default=64)
     p_faults.add_argument("--f-values", type=int, nargs="*", default=None)
     p_faults.add_argument("--seeds", type=int, default=3)
-    p_faults.add_argument(
-        "--jobs", type=int, default=None,
-        help="worker processes for the fault grid (-1: all cores)",
-    )
+    _add_execution_args(p_faults, "the fault grid")
     p_faults.set_defaults(func=_cmd_faults)
 
     p_lb = sub.add_parser("lower-bound", help="Theorem 3 adversary")
@@ -305,14 +383,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=("quick", "full"), default="quick"
     )
     p_campaign.add_argument(
-        "--jobs", type=int, default=None,
-        help="worker processes for the campaign's run grids (-1: all cores)",
+        "--quick", action="store_true",
+        help="alias for --scale quick (the default)",
     )
+    _add_execution_args(p_campaign, "the campaign's run grids")
     p_campaign.add_argument(
         "--json", default=None, metavar="PATH",
-        help="also write the machine-readable report (timings + verdicts)",
+        help="also write the machine-readable report (timings, verdicts, "
+        "cache hit counts)",
     )
     p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clean the content-addressed run store"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cache_stats = cache_sub.add_parser(
+        "stats", help="entry counts, bytes, and session hit/miss counters"
+    )
+    p_cache_stats.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_cache_gc = cache_sub.add_parser(
+        "gc", help="drop stale-salt entries and enforce size bounds"
+    )
+    p_cache_gc.add_argument(
+        "--max-entries", type=int, default=None,
+        help="keep at most N entries (oldest evicted first)",
+    )
+    p_cache_gc.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="keep at most N bytes of entries (oldest evicted first)",
+    )
+    p_cache_gc.add_argument(
+        "--keep-stale", action="store_true",
+        help="keep entries written under older code-version salts",
+    )
+    p_cache_clear = cache_sub.add_parser(
+        "clear", help="remove every entry from the store"
+    )
+    for cache_parser in (p_cache_stats, p_cache_gc, p_cache_clear):
+        cache_parser.add_argument(
+            "--cache-dir", default=None, metavar="PATH",
+            help="run-store location (default: $REPRO_CACHE_DIR or the "
+            "user cache dir)",
+        )
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_dot = sub.add_parser("export-dot", help="export Graphviz DOT pictures")
     p_dot.add_argument(

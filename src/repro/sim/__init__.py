@@ -29,6 +29,7 @@ from repro.sim.invariants import verify_run
 from repro.sim.traceio import (
     dynamic_graph_to_script,
     replay_and_verify,
+    run_result_from_dict,
     run_result_to_dict,
     run_result_to_json,
     script_from_dict,
@@ -51,12 +52,14 @@ from repro.sim.hooks import (
     TraceCollector,
 )
 from repro.sim.spec import (
+    CODE_VERSION_SALT,
     ComponentSpec,
     CrashSpec,
     PlacementSpec,
     RunSpec,
     SpecError,
     build_engine,
+    canonical_spec_json,
     execute,
     make_spec,
     register_activation,
@@ -64,12 +67,21 @@ from repro.sim.spec import (
     register_byzantine,
     register_graph,
     registered_components,
+    spec_digest,
 )
 from repro.sim.runner import (
     ProcessPoolRunner,
     Runner,
+    RunnerError,
     SerialRunner,
     runner_from_jobs,
+)
+from repro.sim.store import (
+    CachingRunner,
+    RunStore,
+    StoreStats,
+    default_cache_dir,
+    execute_through_store,
 )
 
 __all__ = [
@@ -111,10 +123,20 @@ __all__ = [
     "register_byzantine",
     "register_activation",
     "registered_components",
+    "CODE_VERSION_SALT",
+    "canonical_spec_json",
+    "spec_digest",
     "Runner",
+    "RunnerError",
     "SerialRunner",
     "ProcessPoolRunner",
     "runner_from_jobs",
+    "RunStore",
+    "CachingRunner",
+    "StoreStats",
+    "default_cache_dir",
+    "execute_through_store",
+    "run_result_from_dict",
     "verify_run",
     "dynamic_graph_to_script",
     "replay_and_verify",

@@ -21,6 +21,7 @@ validation, and metrics; algorithms never receive it.
 
 from __future__ import annotations
 
+import warnings
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -84,8 +85,11 @@ class SimulationEngine:
     collect_records:
         Set False to skip per-round records in large benchmark sweeps.
     round_observers:
-        Legacy per-round callbacks ``callable(RoundRecord)``; kept for
-        backward compatibility and adapted onto the observer layer.
+        **Deprecated** legacy per-round callbacks ``callable(RoundRecord)``;
+        still adapted onto the observer layer (via
+        :class:`~repro.sim.hooks.CallbackObserver`) but emits a
+        ``DeprecationWarning`` -- pass
+        ``observers=[CallbackObserver(fn)]`` instead.
     observers:
         :class:`~repro.sim.hooks.EngineObserver` instances receiving the
         per-phase instrumentation hooks (round start / communicate /
@@ -156,6 +160,14 @@ class SimulationEngine:
         # Phase observers: new-style EngineObservers plus legacy plain
         # callables (adapted).  Trace capture is itself an observer.
         hooks: list = list(observers or ())
+        if round_observers:
+            warnings.warn(
+                "the round_observers engine parameter is deprecated; pass "
+                "observers=[CallbackObserver(fn), ...] (repro.sim.hooks) "
+                "instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         hooks += [CallbackObserver(fn) for fn in (round_observers or ())]
         self._trace: Optional[TraceCollector] = (
             TraceCollector() if collect_records else None

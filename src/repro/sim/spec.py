@@ -29,7 +29,9 @@ code can add its own without import-order gymnastics.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import math
 import random
 from dataclasses import dataclass, field, replace
 from typing import (
@@ -47,6 +49,13 @@ from repro.robots.robot import RobotSet
 from repro.sim.observation import CommunicationModel
 
 SPEC_FORMAT_VERSION = 1
+
+#: The code-version salt mixed into every :func:`spec_digest`.  It names
+#: the *run semantics* of this tree: bump the trailing revision whenever a
+#: change alters what :func:`execute` returns for an unchanged spec (RNG
+#: streams, tie-breaks, metrics), so persisted results keyed under the old
+#: salt become unreachable instead of silently stale.
+CODE_VERSION_SALT = f"spec{SPEC_FORMAT_VERSION}:results1"
 
 
 class SpecError(ValueError):
@@ -431,6 +440,72 @@ class RunSpec:
     def from_json(cls, text: str) -> "RunSpec":
         """Inverse of :meth:`to_json`."""
         return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Content addressing
+# ----------------------------------------------------------------------
+
+
+def _canonical_value(value: Any) -> Any:
+    """Normalize a spec payload value for stable hashing.
+
+    Mapping keys are stringified (JSON coerces them anyway, but *before*
+    sorting, so ``{1: ...}`` and ``{"1": ...}`` hash alike), sequences
+    become lists, and integral floats collapse to ints so ``1.0`` and
+    ``1`` -- the same value to every component factory -- share a digest.
+    Non-finite floats are rejected: they have no canonical JSON form.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise SpecError(
+                f"non-finite float {value!r} in spec; it has no canonical "
+                "JSON form and cannot be content-addressed"
+            )
+        if value == int(value) and abs(value) < 2**53:
+            return int(value)
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _canonical_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(v) for v in value]
+    raise SpecError(
+        f"value {value!r} of type {type(value).__name__} in spec is not "
+        "JSON-serializable; specs must be pure data"
+    )
+
+
+def canonical_spec_json(spec: "RunSpec") -> str:
+    """The spec's canonical JSON: one byte string per semantic spec.
+
+    Keys are sorted at every depth, separators are compact, and values go
+    through :func:`_canonical_value`, so dict insertion order and float
+    spelling (``1.0`` vs ``1``) cannot change the output.  The display
+    ``label`` is excluded: it never influences the run.  This is the
+    hashing pre-image of :func:`spec_digest`.
+    """
+    data = spec.to_dict()
+    data.pop("label", None)
+    return json.dumps(
+        _canonical_value(data),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def spec_digest(spec: "RunSpec", *, salt: str = CODE_VERSION_SALT) -> str:
+    """Stable content hash of a spec under a code-version ``salt``.
+
+    The sha256 of ``salt`` + newline + :func:`canonical_spec_json`.  Two
+    specs share a digest iff they describe the same run under the same
+    code revision; this is the key of
+    :class:`~repro.sim.store.RunStore`.
+    """
+    payload = f"{salt}\n{canonical_spec_json(spec)}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def make_spec(

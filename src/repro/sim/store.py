@@ -1,0 +1,426 @@
+"""Content-addressed, persistent storage of run results.
+
+A :class:`RunStore` keys :class:`~repro.sim.metrics.RunResult` records by
+:func:`~repro.sim.spec.spec_digest` -- a sha256 of the spec's canonical
+JSON mixed with a code-version salt -- and persists them on disk, one
+JSON document per digest.  Because specs are pure data and execution is
+deterministic, a stored result *is* the run: sweeps, campaigns and
+benchmarks that route their grids through a store recompute a spec at
+most once per code revision, across process boundaries and across
+invocations.  An interrupted campaign that stored half its runs resumes
+by recomputing only the other half.
+
+Layout (``layout v1``)::
+
+    <root>/v1/<digest[:2]>/<digest>.json   one entry per stored run
+    <root>/tmp/                            staging area for atomic writes
+
+Each entry carries the digest, the salt, the full spec, the full result
+(:func:`~repro.sim.traceio.run_result_to_dict`), the wall-clock seconds
+the original execution took, and a creation timestamp.  Writes go to the
+staging area and are published with ``os.replace``, which is atomic on
+POSIX: any number of processes -- including the worker processes of a
+:class:`~repro.sim.runner.ProcessPoolRunner` sharing one store -- may
+read and write concurrently without torn entries.  Racing writers of the
+same digest produce identical content, so last-writer-wins is lossless.
+
+:class:`CachingRunner` is the read-through/write-through adapter: it
+wraps any :class:`~repro.sim.runner.Runner` backend, serves hits from
+the store, executes only the misses, and writes those back.  Explicit
+:meth:`RunStore.invalidate`, :meth:`RunStore.gc` and
+:meth:`RunStore.stats` operations complete the cache lifecycle; the CLI
+exposes them as ``repro-dispersion cache stats|gc|clear``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.sim.metrics import RunResult
+from repro.sim.runner import Runner
+from repro.sim.spec import CODE_VERSION_SALT, RunSpec, spec_digest
+from repro.sim.traceio import run_result_from_dict, run_result_to_dict
+
+LAYOUT_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The cache root used when none is given explicitly.
+
+    ``$REPRO_CACHE_DIR`` if set, else ``$XDG_CACHE_HOME/repro-dispersion``,
+    else ``~/.cache/repro-dispersion``.
+    """
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro-dispersion"
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """Metadata of one stored run (the payload stays on disk)."""
+
+    digest: str
+    salt: str
+    label: str
+    seconds: Optional[float]
+    created_at: float
+    size_bytes: int
+    path: pathlib.Path
+
+
+@dataclass
+class StoreStats:
+    """A point-in-time view of a store plus this session's counters."""
+
+    entries: int
+    size_bytes: int
+    hits: int
+    misses: int
+    writes: int
+    root: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable form (what ``cache stats --json`` emits)."""
+        return {
+            "kind": "run_store_stats",
+            "root": self.root,
+            "entries": self.entries,
+            "size_bytes": self.size_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
+
+    def render(self) -> str:
+        """One human-readable line per field."""
+        return (
+            f"store {self.root}\n"
+            f"  entries {self.entries}, {self.size_bytes} bytes\n"
+            f"  session: {self.hits} hits, {self.misses} misses, "
+            f"{self.writes} writes"
+        )
+
+
+class RunStore:
+    """Content-addressed on-disk cache of spec -> result.
+
+    ``root`` is the cache directory (created lazily on first write;
+    default :func:`default_cache_dir`).  ``salt`` is the code-version
+    salt mixed into every digest (default
+    :data:`~repro.sim.spec.CODE_VERSION_SALT`); bumping it makes every
+    previously stored entry unreachable -- the library-wide invalidation
+    lever -- while :meth:`gc` can reclaim the orphaned bytes.
+
+    Session counters (``hits`` / ``misses`` / ``writes``) accumulate per
+    store instance; :meth:`stats` combines them with a disk scan.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike, None] = None,
+        *,
+        salt: str = CODE_VERSION_SALT,
+    ) -> None:
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def __repr__(self) -> str:
+        return f"RunStore({str(self.root)!r}, salt={self.salt!r})"
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+
+    @property
+    def _objects(self) -> pathlib.Path:
+        return self.root / f"v{LAYOUT_VERSION}"
+
+    def digest(self, spec: RunSpec) -> str:
+        """The content address of ``spec`` under this store's salt."""
+        return spec_digest(spec, salt=self.salt)
+
+    def path_for(self, digest: str) -> pathlib.Path:
+        """Where the entry for ``digest`` lives (whether or not it exists)."""
+        return self._objects / digest[:2] / f"{digest}.json"
+
+    def same_target(self, other: "RunStore") -> bool:
+        """Whether ``other`` addresses the same on-disk entries."""
+        return self.root == other.root and self.salt == other.salt
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        """The stored result for ``spec``, or ``None`` on a miss.
+
+        A hit reconstructs a :class:`RunResult` equal, field for field,
+        to the one originally stored.  Unreadable or torn entries are
+        treated as misses and dropped, never propagated.
+        """
+        path = self.path_for(self.digest(spec))
+        try:
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+            if payload.get("kind") != "run_store_entry":
+                raise ValueError("not a run_store_entry")
+            result = run_result_from_dict(payload["result"])
+        except (ValueError, KeyError, TypeError):
+            # Corrupt entry (e.g. a partial write from a pre-atomic
+            # layout, or manual tampering): drop it and recompute.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(
+        self,
+        spec: RunSpec,
+        result: RunResult,
+        *,
+        seconds: Optional[float] = None,
+    ) -> str:
+        """Persist ``result`` under ``spec``'s digest; returns the digest.
+
+        The write is atomic (staged in ``<root>/tmp`` and published via
+        ``os.replace``), so concurrent readers and writers -- including
+        pool workers sharing the store -- never observe a torn entry.
+        """
+        digest = self.digest(spec)
+        path = self.path_for(digest)
+        payload = {
+            "kind": "run_store_entry",
+            "layout_version": LAYOUT_VERSION,
+            "digest": digest,
+            "salt": self.salt,
+            "label": spec.label,
+            "created_at": time.time(),
+            "seconds": seconds,
+            "spec": spec.to_dict(),
+            "result": run_result_to_dict(result),
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        staging = self.root / "tmp"
+        staging.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=staging, prefix=digest[:8], suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return digest
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        """Whether ``spec`` has a stored entry (no counters touched)."""
+        return self.path_for(self.digest(spec)).exists()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def entries(self) -> Iterator[StoreEntry]:
+        """Iterate the metadata of every stored entry (any salt)."""
+        if not self._objects.is_dir():
+            return
+        for path in sorted(self._objects.glob("*/*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                stat = path.stat()
+            except (OSError, ValueError):
+                continue
+            if payload.get("kind") != "run_store_entry":
+                continue
+            yield StoreEntry(
+                digest=str(payload.get("digest", path.stem)),
+                salt=str(payload.get("salt", "")),
+                label=str(payload.get("label", "")),
+                seconds=payload.get("seconds"),
+                created_at=float(payload.get("created_at", 0.0)),
+                size_bytes=stat.st_size,
+                path=path,
+            )
+
+    def invalidate(self, spec: RunSpec) -> bool:
+        """Drop ``spec``'s entry; returns whether one existed."""
+        path = self.path_for(self.digest(spec))
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry (any salt); returns the number removed."""
+        removed = 0
+        for entry in list(self.entries()):
+            try:
+                entry.path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def gc(
+        self,
+        *,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        drop_stale: bool = True,
+    ) -> Dict[str, int]:
+        """Reclaim disk space; returns ``{"removed": ..., "kept": ...}``.
+
+        ``drop_stale`` removes entries written under a different salt
+        (unreachable since the salt bump).  ``max_entries`` /
+        ``max_bytes`` then evict oldest-first until the survivors fit
+        both budgets.
+        """
+        live: List[StoreEntry] = []
+        removed = 0
+        for entry in self.entries():
+            if drop_stale and entry.salt != self.salt:
+                try:
+                    entry.path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+                continue
+            live.append(entry)
+        live.sort(key=lambda e: e.created_at)
+        total_bytes = sum(e.size_bytes for e in live)
+        while live and (
+            (max_entries is not None and len(live) > max_entries)
+            or (max_bytes is not None and total_bytes > max_bytes)
+        ):
+            victim = live.pop(0)
+            try:
+                victim.path.unlink()
+                removed += 1
+                total_bytes -= victim.size_bytes
+            except OSError:
+                pass
+        return {"removed": removed, "kept": len(live)}
+
+    def stats(self) -> StoreStats:
+        """Disk usage plus this session's hit/miss/write counters."""
+        entries = 0
+        size = 0
+        for entry in self.entries():
+            entries += 1
+            size += entry.size_bytes
+        return StoreStats(
+            entries=entries,
+            size_bytes=size,
+            hits=self.hits,
+            misses=self.misses,
+            writes=self.writes,
+            root=str(self.root),
+        )
+
+
+def execute_through_store(
+    spec: RunSpec,
+    root: Union[str, os.PathLike],
+    salt: str = CODE_VERSION_SALT,
+) -> RunResult:
+    """Hit-or-execute-and-store one spec against the store at ``root``.
+
+    A module-level pure function of its arguments, hence picklable: this
+    is the task :class:`~repro.sim.runner.ProcessPoolRunner` dispatches
+    when it carries a store, which is what lets every worker process
+    read and write-through one shared cache directly.
+    """
+    from repro.sim.spec import execute
+
+    store = RunStore(root, salt=salt)
+    cached = store.get(spec)
+    if cached is not None:
+        return cached
+    t0 = time.perf_counter()
+    result = execute(spec)
+    store.put(spec, result, seconds=time.perf_counter() - t0)
+    return result
+
+
+class CachingRunner(Runner):
+    """Read-through / write-through cache around any runner backend.
+
+    Hits are served from ``store`` without touching the backend; misses
+    are executed through it (in spec order relative to each other) and
+    written back.  Results come back in spec order, equal to what the
+    bare backend would have produced -- caching is semantically
+    invisible.  If the wrapped backend already writes through the same
+    store (a :class:`~repro.sim.runner.ProcessPoolRunner` constructed
+    with ``store=``), the duplicate parent-side write is skipped.
+    """
+
+    name = "caching"
+
+    def __init__(self, inner: Runner, store: RunStore) -> None:
+        self.inner = inner
+        self.store = store
+        self.name = f"caching[{inner.name}]"
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Serve hits from the store, execute misses via the backend."""
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        miss_indices: List[int] = []
+        for index, spec in enumerate(specs):
+            cached = self.store.get(spec)
+            if cached is not None:
+                results[index] = cached
+            else:
+                miss_indices.append(index)
+        if miss_indices:
+            inner_store = getattr(self.inner, "store", None)
+            worker_writes = (
+                isinstance(inner_store, RunStore)
+                and self.store.same_target(inner_store)
+            )
+            t0 = time.perf_counter()
+            computed = self.inner.run([specs[i] for i in miss_indices])
+            mean_seconds = (
+                (time.perf_counter() - t0) / len(miss_indices)
+            )
+            for index, result in zip(miss_indices, computed):
+                results[index] = result
+                if not worker_writes:
+                    self.store.put(
+                        specs[index], result, seconds=mean_seconds
+                    )
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    def close(self) -> None:
+        """Close the wrapped backend."""
+        self.inner.close()

@@ -10,8 +10,10 @@ process that produced them.  This module provides:
   dynamic process into a plain list-of-snapshots script;
 * :func:`script_from_dict` / :func:`script_to_dict` -- (de)serialize such
   scripts as :class:`~repro.graph.dynamic.SequenceDynamicGraph`;
-* :func:`run_result_to_dict` -- export a full run (metrics + per-round
-  records) for external analysis;
+* :func:`run_result_to_dict` / :func:`run_result_from_dict` -- lossless
+  run export and reconstruction (metrics + per-round records), which is
+  how :class:`~repro.sim.store.RunStore` persists results: a stored hit
+  compares equal, field for field, to the result it replaced;
 * :func:`replay_and_verify` -- re-execute a serialized instance and check
   the recorded outcome still holds (the reproducibility self-test).
 """
@@ -23,7 +25,7 @@ from typing import Any, Dict, Optional
 
 from repro.graph.dynamic import DynamicGraph, SequenceDynamicGraph
 from repro.graph.snapshot import GraphSnapshot
-from repro.sim.metrics import RunResult
+from repro.sim.metrics import RoundRecord, RunResult, TerminationReason
 
 FORMAT_VERSION = 1
 
@@ -107,7 +109,30 @@ def script_from_dict(data: Dict[str, Any], *, tail: str = "hold") -> SequenceDyn
 
 
 def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
-    """Full dict export of a run (JSON-serializable)."""
+    """Full dict export of a run (JSON-serializable, lossless)."""
+    records = []
+    for record in result.records:
+        entry: Dict[str, Any] = {
+            "round": record.round_index,
+            "positions_before": {
+                str(r): v for r, v in record.positions_before.items()
+            },
+            "positions_after": {
+                str(r): v for r, v in record.positions_after.items()
+            },
+            "moved": list(record.moved_robots),
+            "crashed_before_communicate": list(
+                record.crashed_before_communicate
+            ),
+            "crashed_after_compute": list(record.crashed_after_compute),
+            "occupied_before": sorted(record.occupied_before),
+            "occupied_after": sorted(record.occupied_after),
+            "num_components": record.num_components,
+            "max_persistent_bits": record.max_persistent_bits,
+        }
+        if record.snapshot is not None:
+            entry["snapshot"] = snapshot_to_dict(record.snapshot)
+        records.append(entry)
     return {
         "format_version": FORMAT_VERSION,
         "kind": "run_result",
@@ -120,31 +145,89 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
             str(robot): node for robot, node in result.final_positions.items()
         },
         "crashed_robots": list(result.crashed_robots),
+        "byzantine_robots": list(result.byzantine_robots),
         "total_moves": result.total_moves,
         "max_persistent_bits": result.max_persistent_bits,
+        "total_packets_broadcast": result.total_packets_broadcast,
+        "total_packet_deliveries": result.total_packet_deliveries,
         "algorithm_detected_termination": result.algorithm_detected_termination,
-        "records": [
-            {
-                "round": record.round_index,
-                "positions_before": {
-                    str(r): v for r, v in record.positions_before.items()
-                },
-                "positions_after": {
-                    str(r): v for r, v in record.positions_after.items()
-                },
-                "moved": list(record.moved_robots),
-                "crashed_before_communicate": list(
-                    record.crashed_before_communicate
-                ),
-                "crashed_after_compute": list(record.crashed_after_compute),
-                "occupied_before": sorted(record.occupied_before),
-                "occupied_after": sorted(record.occupied_after),
-                "num_components": record.num_components,
-                "max_persistent_bits": record.max_persistent_bits,
-            }
-            for record in result.records
-        ],
+        "records": records,
     }
+
+
+def _record_from_dict(data: Dict[str, Any]) -> RoundRecord:
+    snapshot = data.get("snapshot")
+    return RoundRecord(
+        round_index=int(data["round"]),
+        positions_before={
+            int(r): int(v) for r, v in data["positions_before"].items()
+        },
+        positions_after={
+            int(r): int(v) for r, v in data["positions_after"].items()
+        },
+        moved_robots=tuple(int(r) for r in data["moved"]),
+        crashed_before_communicate=tuple(
+            int(r) for r in data["crashed_before_communicate"]
+        ),
+        crashed_after_compute=tuple(
+            int(r) for r in data["crashed_after_compute"]
+        ),
+        occupied_before=frozenset(
+            int(v) for v in data["occupied_before"]
+        ),
+        occupied_after=frozenset(int(v) for v in data["occupied_after"]),
+        num_components=int(data["num_components"]),
+        max_persistent_bits=int(data["max_persistent_bits"]),
+        snapshot=(
+            snapshot_from_dict(snapshot) if snapshot is not None else None
+        ),
+    )
+
+
+def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
+    """Inverse of :func:`run_result_to_dict`.
+
+    The reconstructed :class:`~repro.sim.metrics.RunResult` compares
+    equal, field for field (records and stored snapshots included), to
+    the exported one -- the property the run store's cache hits rely on.
+    Raises ``ValueError`` on malformed payloads.
+    """
+    if data.get("kind") != "run_result":
+        raise ValueError("payload is not a run_result")
+    try:
+        return RunResult(
+            reason=TerminationReason(data["reason"]),
+            rounds=int(data["rounds"]),
+            k=int(data["k"]),
+            n=int(data["n"]),
+            initial_occupied=int(data["initial_occupied"]),
+            final_positions={
+                int(r): int(v)
+                for r, v in data["final_positions"].items()
+            },
+            crashed_robots=tuple(
+                int(r) for r in data["crashed_robots"]
+            ),
+            byzantine_robots=tuple(
+                int(r) for r in data.get("byzantine_robots", ())
+            ),
+            total_moves=int(data["total_moves"]),
+            max_persistent_bits=int(data["max_persistent_bits"]),
+            total_packets_broadcast=int(
+                data.get("total_packets_broadcast", 0)
+            ),
+            total_packet_deliveries=int(
+                data.get("total_packet_deliveries", 0)
+            ),
+            records=[
+                _record_from_dict(entry) for entry in data["records"]
+            ],
+            algorithm_detected_termination=bool(
+                data["algorithm_detected_termination"]
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed run_result payload: {exc}") from exc
 
 
 def run_result_to_json(result: RunResult, *, indent: Optional[int] = None) -> str:

@@ -19,6 +19,17 @@ def rng() -> random.Random:
     return random.Random(0xC0FFEE)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_store(tmp_path, monkeypatch):
+    """Point the default run store at a per-test directory.
+
+    CLI commands cache by default, so without this every test invocation
+    would read and write the developer's real ``~/.cache`` store --
+    leaking state between tests and polluting the machine.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "run-store"))
+
+
 def make_packets(
     snapshot: GraphSnapshot, positions: Dict[int, int]
 ) -> List[InfoPacket]:

@@ -36,6 +36,7 @@ PUBLIC_MODULES = [
     "repro.sim.traceio",
     "repro.sim.spec",
     "repro.sim.runner",
+    "repro.sim.store",
     "repro.sim.hooks",
     "repro.core",
     "repro.core.components",

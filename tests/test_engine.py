@@ -420,28 +420,34 @@ class TestCommunicationMetrics:
 
 
 class TestRoundObservers:
+    """The deprecated ``round_observers=`` path (adapts to phase hooks)."""
+
     def test_observer_sees_every_round(self):
         seen = []
         dyn = RandomChurnDynamicGraph(10, extra_edges=4, seed=1)
-        result = SimulationEngine(
-            dyn,
-            RobotSet.rooted(6, 10),
-            DispersionDynamic(),
-            round_observers=[lambda rec: seen.append(rec.round_index)],
-        ).run()
+        with pytest.warns(DeprecationWarning, match="round_observers"):
+            engine = SimulationEngine(
+                dyn,
+                RobotSet.rooted(6, 10),
+                DispersionDynamic(),
+                round_observers=[lambda rec: seen.append(rec.round_index)],
+            )
+        result = engine.run()
         assert seen == list(range(result.rounds))
 
     def test_observer_without_records(self):
         """Observers fire even when per-round records are not retained."""
         seen = []
         dyn = RandomChurnDynamicGraph(10, extra_edges=4, seed=1)
-        result = SimulationEngine(
-            dyn,
-            RobotSet.rooted(6, 10),
-            DispersionDynamic(),
-            collect_records=False,
-            round_observers=[seen.append],
-        ).run()
+        with pytest.warns(DeprecationWarning, match="round_observers"):
+            engine = SimulationEngine(
+                dyn,
+                RobotSet.rooted(6, 10),
+                DispersionDynamic(),
+                collect_records=False,
+                round_observers=[seen.append],
+            )
+        result = engine.run()
         assert result.records == []
         assert len(seen) == result.rounds
         assert all(rec.newly_occupied for rec in seen)
@@ -449,13 +455,15 @@ class TestRoundObservers:
     def test_multiple_observers_in_order(self):
         order = []
         dyn = RandomChurnDynamicGraph(8, extra_edges=3, seed=2)
-        SimulationEngine(
-            dyn,
-            RobotSet.rooted(4, 8),
-            DispersionDynamic(),
-            round_observers=[
-                lambda rec: order.append(("a", rec.round_index)),
-                lambda rec: order.append(("b", rec.round_index)),
-            ],
-        ).run()
+        with pytest.warns(DeprecationWarning, match="round_observers"):
+            engine = SimulationEngine(
+                dyn,
+                RobotSet.rooted(4, 8),
+                DispersionDynamic(),
+                round_observers=[
+                    lambda rec: order.append(("a", rec.round_index)),
+                    lambda rec: order.append(("b", rec.round_index)),
+                ],
+            )
+        engine.run()
         assert order[0] == ("a", 0) and order[1] == ("b", 0)

@@ -93,7 +93,9 @@ class TestHookSequence:
 class TestLegacyRoundObservers:
     def test_callable_observers_still_work(self):
         seen = []
-        result = _engine(round_observers=[seen.append]).run()
+        with pytest.warns(DeprecationWarning, match="round_observers"):
+            engine = _engine(round_observers=[seen.append])
+        result = engine.run()
         assert [r.round_index for r in seen] == list(range(result.rounds))
         assert [run_result_to_dict_record(r) for r in seen] == [
             run_result_to_dict_record(r) for r in result.records
@@ -102,10 +104,21 @@ class TestLegacyRoundObservers:
     def test_mixing_legacy_and_hook_observers(self):
         seen = []
         collector = TraceCollector()
-        result = _engine(
-            round_observers=[seen.append], observers=[collector]
-        ).run()
+        with pytest.warns(DeprecationWarning, match="round_observers"):
+            engine = _engine(
+                round_observers=[seen.append], observers=[collector]
+            )
+        result = engine.run()
         assert len(seen) == len(collector.records) == result.rounds
+
+    def test_hook_observers_do_not_warn(self):
+        """The replacement API (observers=) builds without a warning."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            _engine(observers=[TraceCollector()])
+            _engine(round_observers=[])  # empty legacy list: no-op, no warn
 
 
 def run_result_to_dict_record(record):

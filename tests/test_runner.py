@@ -100,3 +100,136 @@ class TestRunnerFromJobs:
         with ProcessPoolRunner(max_workers=2) as pool:
             parallel = sweep_rounds_vs_k([4, 8], seeds=(0, 1), runner=pool)
         assert serial == parallel
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: components that misbehave exactly once, for the pool's
+# recovery paths.  Registered at import time; worker processes are forked
+# on Linux, so they inherit these registrations.
+# ---------------------------------------------------------------------------
+
+import os
+import signal
+import time
+
+from repro.graph.dynamic import RandomChurnDynamicGraph
+from repro.sim.runner import RunnerError
+from repro.sim.spec import register_graph
+
+
+def _churn(params, ctx):
+    return RandomChurnDynamicGraph(
+        params["n"], extra_edges=params.get("extra_edges", 4), seed=ctx.seed
+    )
+
+
+@register_graph("test_kill_once")
+def _kill_once(params, ctx):
+    """SIGKILL the hosting worker the first time this graph is built."""
+    sentinel = params["sentinel"]
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _churn(params, ctx)
+
+
+@register_graph("test_fail_times")
+def _fail_times(params, ctx):
+    """Raise on the first ``failures`` builds, then behave normally."""
+    marker = params["marker"]
+    count = int(open(marker).read()) if os.path.exists(marker) else 0
+    if count < params["failures"]:
+        with open(marker, "w") as handle:
+            handle.write(str(count + 1))
+        raise RuntimeError(f"injected failure #{count + 1}")
+    return _churn(params, ctx)
+
+
+@register_graph("test_hang")
+def _hang(params, ctx):
+    time.sleep(params.get("seconds", 60.0))
+    return _churn(params, ctx)
+
+
+def _injection_spec(graph, params, *, label):
+    return RunSpec(
+        graph=ComponentSpec(graph, {"n": 10, "extra_edges": 4, **params}),
+        placement=PlacementSpec(kind="rooted", k=6),
+        seed=1,
+        max_rounds=40,
+        collect_records=False,
+        label=label,
+    )
+
+
+class TestPoolFaultTolerance:
+    def test_worker_kill_recovers_bit_identical(self, tmp_path):
+        """A SIGKILLed worker's pending specs are re-dispatched, and the
+        sweep still returns spec-ordered results identical to serial."""
+        benign = rounds_vs_k_specs([4, 8], seeds=(0, 1))
+        specs = list(benign)
+        specs.insert(
+            2,
+            _injection_spec(
+                "test_kill_once",
+                {"sentinel": str(tmp_path / "killed")},
+                label="killer",
+            ),
+        )
+        with ProcessPoolRunner(max_workers=2) as pool:
+            results = pool.run(specs)
+        assert (tmp_path / "killed").exists()  # the kill really happened
+        assert len(results) == len(specs)
+        serial = SerialRunner().run(benign)
+        survivors = [r for i, r in enumerate(results) if i != 2]
+        for a, b in zip(survivors, serial):
+            assert run_result_to_dict(a) == run_result_to_dict(b)
+
+    def test_task_exception_retried_within_budget(self, tmp_path):
+        spec = _injection_spec(
+            "test_fail_times",
+            {"marker": str(tmp_path / "marker"), "failures": 2},
+            label="flaky",
+        )
+        with ProcessPoolRunner(
+            max_workers=2, retries=2, retry_backoff=0.01
+        ) as pool:
+            (result,) = pool.run([spec])
+        assert result.k == 6
+
+    def test_task_exception_exhausts_retry_budget(self, tmp_path):
+        spec = _injection_spec(
+            "test_fail_times",
+            {"marker": str(tmp_path / "marker"), "failures": 99},
+            label="hopeless",
+        )
+        with ProcessPoolRunner(
+            max_workers=2, retries=1, retry_backoff=0.01
+        ) as pool:
+            with pytest.raises(RunnerError, match="2 attempt"):
+                pool.run([spec])
+
+    def test_timeout_raises_runner_error(self):
+        spec = _injection_spec(
+            "test_hang", {"seconds": 30.0}, label="hang"
+        )
+        start = time.perf_counter()
+        with ProcessPoolRunner(max_workers=2, timeout=0.5) as pool:
+            with pytest.raises(RunnerError, match="timeout"):
+                pool.run([spec])
+        assert time.perf_counter() - start < 10.0
+
+    def test_pool_usable_after_worker_loss(self, tmp_path):
+        killer = _injection_spec(
+            "test_kill_once",
+            {"sentinel": str(tmp_path / "killed2")},
+            label="killer",
+        )
+        benign = rounds_vs_k_specs([4], seeds=(0,))
+        with ProcessPoolRunner(max_workers=2) as pool:
+            pool.run([killer])
+            results = pool.run(benign)  # the rebuilt pool still works
+        serial = SerialRunner().run(benign)
+        for a, b in zip(results, serial):
+            assert run_result_to_dict(a) == run_result_to_dict(b)

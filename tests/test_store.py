@@ -1,0 +1,260 @@
+"""The content-addressed run store and the caching runner.
+
+Covers the ISSUE's cache-semantics contracts:
+
+* a cache hit returns a ``RunResult`` bit-identical to the original --
+  including per-round records and snapshots;
+* bumping the code-version salt invalidates every old entry;
+* concurrent pool workers writing through one store never corrupt it;
+* an interrupted sweep/campaign resumes with zero recomputed specs;
+* ``gc`` / ``clear`` / ``stats`` behave as documented.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+import repro
+from repro.analysis.campaign import run_campaign
+from repro.analysis.experiments import rounds_vs_k_specs
+from repro.sim.runner import ProcessPoolRunner, SerialRunner
+from repro.sim.spec import make_spec, spec_digest
+from repro.sim.store import CachingRunner, RunStore, default_cache_dir
+from repro.sim.traceio import run_result_to_dict
+
+
+def _spec(seed=0, **kwargs):
+    defaults = {
+        "k": 6,
+        "seed": seed,
+        "collect_records": True,
+        "label": f"store test seed={seed}",
+    }
+    defaults.update(kwargs)
+    return make_spec("random_churn", {"n": 12, "extra_edges": 6}, **defaults)
+
+
+def _grid(count=6):
+    return [_spec(seed=s) for s in range(count)]
+
+
+class TestRunStore:
+    def test_miss_then_hit_is_bit_identical(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _spec(collect_snapshots=True)
+        assert store.get(spec) is None
+        result = repro.execute(spec)
+        store.put(spec, result)
+        cached = store.get(spec)
+        assert cached == result
+        assert run_result_to_dict(cached) == run_result_to_dict(result)
+        assert [r.snapshot for r in cached.records] == [
+            r.snapshot for r in result.records
+        ]
+
+    def test_contains_and_invalidate(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _spec()
+        assert spec not in store
+        store.put(spec, repro.execute(spec))
+        assert spec in store
+        assert store.invalidate(spec) is True
+        assert spec not in store
+        assert store.invalidate(spec) is False
+
+    def test_salt_bump_invalidates(self, tmp_path):
+        spec = _spec()
+        old = RunStore(tmp_path, salt="results1")
+        old.put(spec, repro.execute(spec))
+        new = RunStore(tmp_path, salt="results2")
+        assert spec_digest(spec, salt="results1") != spec_digest(
+            spec, salt="results2"
+        )
+        assert new.get(spec) is None  # old entry invisible under new salt
+        assert old.get(spec) is not None  # ...but still there for old code
+
+    def test_corrupt_entry_is_a_miss_and_dropped(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _spec()
+        store.put(spec, repro.execute(spec))
+        path = store.path_for(store.digest(spec))
+        path.write_text("{not json")
+        assert store.get(spec) is None
+        assert not path.exists()
+        # The next put repairs the store.
+        store.put(spec, repro.execute(spec))
+        assert store.get(spec) is not None
+
+    def test_gc_drops_stale_salts_and_bounds_entries(self, tmp_path):
+        stale = RunStore(tmp_path, salt="old-salt")
+        for spec in _grid(3):
+            stale.put(spec, repro.execute(spec))
+        store = RunStore(tmp_path)
+        for spec in _grid(4):
+            store.put(spec, repro.execute(spec))
+        outcome = store.gc()
+        assert outcome == {"removed": 3, "kept": 4}
+        outcome = store.gc(max_entries=2)
+        assert outcome["kept"] == 2
+        assert store.clear() == 2
+        assert store.stats().entries == 0
+
+    def test_stats_counts_session_traffic(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _spec()
+        store.get(spec)
+        store.put(spec, repro.execute(spec))
+        store.get(spec)
+        stats = store.stats()
+        assert stats.entries == 1 and stats.size_bytes > 0
+        assert (stats.hits, stats.misses, stats.writes) == (1, 1, 1)
+
+    def test_default_cache_dir_honors_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "here"))
+        assert default_cache_dir() == tmp_path / "here"
+        assert RunStore().root == tmp_path / "here"
+
+
+class TestCachingRunner:
+    def test_semantically_invisible(self, tmp_path):
+        specs = _grid()
+        bare = SerialRunner().run(specs)
+        runner = CachingRunner(SerialRunner(), RunStore(tmp_path))
+        cold = runner.run(specs)
+        warm = runner.run(specs)
+        for a, b, c in zip(bare, cold, warm):
+            assert run_result_to_dict(a) == run_result_to_dict(b)
+            assert run_result_to_dict(b) == run_result_to_dict(c)
+
+    def test_hit_miss_accounting(self, tmp_path):
+        store = RunStore(tmp_path)
+        runner = CachingRunner(SerialRunner(), store)
+        specs = _grid(4)
+        runner.run(specs)
+        assert (store.hits, store.misses, store.writes) == (0, 4, 4)
+        runner.run(specs)
+        assert (store.hits, store.misses, store.writes) == (4, 4, 4)
+
+    def test_interrupted_sweep_resumes_with_zero_recomputed(self, tmp_path):
+        store = RunStore(tmp_path)
+        specs = _grid(6)
+        # "Interrupted" run: only a prefix of the grid completed.
+        CachingRunner(SerialRunner(), store).run(specs[:4])
+        resumed = RunStore(tmp_path)
+        results = CachingRunner(SerialRunner(), resumed).run(specs)
+        assert (resumed.hits, resumed.misses) == (4, 2)
+        # The rerun after that recomputes nothing at all.
+        rerun = RunStore(tmp_path)
+        again = CachingRunner(SerialRunner(), rerun).run(specs)
+        assert (rerun.hits, rerun.misses) == (6, 0)
+        for a, b in zip(results, again):
+            assert run_result_to_dict(a) == run_result_to_dict(b)
+
+
+class TestConcurrentWriters:
+    def test_pool_workers_share_one_store(self, tmp_path):
+        specs = rounds_vs_k_specs([4, 8], seeds=(0, 1, 2))
+        store = RunStore(tmp_path)
+        with ProcessPoolRunner(max_workers=4, store=store) as pool:
+            runner = CachingRunner(pool, store)
+            cold = runner.run(specs)
+        # Every entry on disk parses and carries the right digest.
+        entries = list(store.entries())
+        assert len(entries) == len(specs)
+        for entry in entries:
+            payload = json.loads(entry.path.read_text())
+            assert payload["digest"] == entry.digest
+        # A second pass is pure hits, bit-identical across processes.
+        warm_store = RunStore(tmp_path)
+        warm = CachingRunner(SerialRunner(), warm_store).run(specs)
+        assert (warm_store.hits, warm_store.misses) == (len(specs), 0)
+        serial = SerialRunner().run(specs)
+        for a, b, c in zip(cold, warm, serial):
+            assert run_result_to_dict(a) == run_result_to_dict(b)
+            assert run_result_to_dict(b) == run_result_to_dict(c)
+
+    def test_racing_identical_writers_are_lossless(self, tmp_path):
+        # Many processes computing and publishing the SAME entry must
+        # leave exactly one valid file behind.
+        spec = _spec()
+        root = str(tmp_path)
+        procs = [
+            multiprocessing.Process(target=_put_one, args=(root, 0))
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        store = RunStore(tmp_path)
+        assert store.stats().entries == 1
+        assert store.get(spec) == repro.execute(spec)
+
+
+def _put_one(root, seed):
+    store = RunStore(root)
+    spec = _spec(seed=seed)
+    store.put(spec, repro.execute(spec))
+
+
+class TestResumableCampaign:
+    def test_second_campaign_recomputes_nothing(self, tmp_path):
+        store = RunStore(tmp_path)
+        cold = run_campaign("quick", store=store)
+        assert cold.all_passed
+        assert cold.cache["hits"] == 0 and cold.cache["recomputed"] > 0
+        warm = run_campaign("quick", store=RunStore(tmp_path))
+        assert warm.all_passed
+        assert warm.cache["recomputed"] == 0
+        assert warm.cache["hits"] == cold.cache["recomputed"]
+        assert warm.to_dict()["cache"] == warm.cache
+
+    def test_campaign_without_store_reports_no_cache(self):
+        report = run_campaign("quick")
+        assert report.cache is None
+        assert report.to_dict()["cache"] is None
+
+
+class TestTopLevelAPI:
+    def test_run_and_sweep_round_trip_through_store(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _spec()
+        first = repro.run(spec, store=store)
+        second = repro.run(spec, store=store)
+        assert run_result_to_dict(first) == run_result_to_dict(second)
+        assert (store.hits, store.misses) == (1, 1)
+        specs = _grid(4)
+        results = repro.sweep(specs, store=store)
+        again = repro.sweep(specs, jobs=2, store=store)
+        for a, b in zip(results, again):
+            assert run_result_to_dict(a) == run_result_to_dict(b)
+
+    def test_declared_surface_exists(self):
+        for name in ("run", "sweep", "RunSpec", "RunStore", "make_spec"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_version_matches_packaging_metadata(self):
+        import pathlib
+        import re
+
+        pyproject = (
+            pathlib.Path(__file__).resolve().parents[1] / "pyproject.toml"
+        )
+        declared = re.search(
+            r'^version = "([^"]+)"', pyproject.read_text(), re.M
+        ).group(1)
+        assert repro.__version__ == declared
+
+
+@pytest.mark.parametrize("jobs", [None, 2])
+def test_store_is_backend_agnostic(tmp_path, jobs):
+    """The same store serves serial and pool backends interchangeably."""
+    specs = _grid(4)
+    store = RunStore(tmp_path)
+    cold = repro.sweep(specs, jobs=jobs, store=store)
+    flipped = repro.sweep(specs, jobs=2 if jobs is None else None, store=store)
+    for a, b in zip(cold, flipped):
+        assert run_result_to_dict(a) == run_result_to_dict(b)
