@@ -8,7 +8,10 @@ Subcommands mirror the experiment suite:
 * ``lower-bound`` -- the Theorem 3 star-star adversary (Figure 2 shape);
 * ``figure3``     -- the reconstructed Figure 3/4 worked example;
 * ``cache``       -- inspect (``stats``) or clean (``gc``, ``clear``)
-  the content-addressed run store.
+  the content-addressed run store;
+* ``lint``        -- the AST-based determinism / cache-safety analyzer
+  (:mod:`repro.lint`): checks the D/C/R/H invariant rules over a source
+  tree, with ``--json`` for the machine-readable report.
 
 ``sweep``, ``faults`` and ``campaign`` accept ``--jobs N`` to fan their
 run grids across ``N`` worker processes (``--jobs -1`` uses every core);
@@ -322,6 +325,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.analysis.paper_table import table1
 
@@ -439,6 +448,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_dot.add_argument("--seed", type=int, default=0)
     p_dot.add_argument("--output", default=None)
     p_dot.set_defaults(func=_cmd_export_dot)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="AST-based determinism / cache-safety analyzer (reprolint)",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_table1 = sub.add_parser(
         "table1", help="the paper's Table I with measured verdicts"

@@ -1,0 +1,81 @@
+"""The ``repro lint`` command line (also ``python -m repro.lint``).
+
+Exit codes follow the convention of every other gate in CI: ``0`` for a
+clean tree, ``1`` when findings exist, ``2`` for usage errors (unknown
+rule selector, missing path) -- so a misconfigured invocation can never
+masquerade as a passing gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.engine import lint_paths
+from repro.lint.reporters import (
+    render_json,
+    render_rule_catalogue,
+    render_text,
+)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the schema-stable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes or families to run "
+        "(e.g. 'D' or 'D001,C'); default: all rules",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a lint run described by parsed arguments."""
+    if args.list_rules:
+        print(render_rule_catalogue())
+        return 0
+    select = (
+        [s for s in args.select.split(",") if s.strip()]
+        if args.select
+        else None
+    )
+    try:
+        report = lint_paths(args.paths, select=select)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    print(render_json(report) if args.json else render_text(report))
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,214 @@
+"""D-rules: determinism of the simulation and digest pipeline.
+
+The paper's claims (Theorems 3-5) are deterministic: ``Dispersion_Dynamic``
+terminates within a fixed round budget against *any* 1-interval connected
+adversary, and the reproduction asserts those bounds on concrete runs.
+That only holds if a :class:`~repro.sim.spec.RunSpec` fully determines
+its :class:`~repro.sim.metrics.RunResult` -- which rules out reading the
+wall clock, drawing unseeded randomness or consulting the process
+environment anywhere inside the simulation and digest path.  The blessed
+alternatives are the seeded-RNG idiom (``random.Random(seed)`` with a
+seed derived from the spec) and the engine's round counter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, RuleInfo
+from repro.lint.rules import (
+    DETERMINISM_SCOPE,
+    ModuleContext,
+    Rule,
+    register_rule,
+)
+
+#: Dotted call targets that read the wall clock or calendar.  Monotonic
+#: duration clocks (``time.perf_counter``, ``time.monotonic``) are *not*
+#: listed: they measure elapsed time without injecting the epoch into
+#: results, which is what benchmarking and retry backoff legitimately do.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.strftime",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.datetime.fromtimestamp",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+#: Module-level functions of :mod:`random` that draw from (or reseed) the
+#: shared global RNG.  ``random.Random(seed)`` instances are the blessed
+#: route and are untouched; ``random.Random()`` *without* a seed is
+#: handled separately -- it seeds itself from the OS.
+GLOBAL_RANDOM_CALLS = frozenset(
+    {
+        "seed",
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+    }
+)
+
+
+@register_rule
+class WallClockRead(Rule):
+    """D001: no wall-clock or calendar reads in deterministic code."""
+
+    info = RuleInfo(
+        code="D001",
+        name="wall-clock-read",
+        summary="wall-clock/calendar read inside the deterministic core",
+        rationale=(
+            "A RunSpec must fully determine its RunResult; reading the "
+            "epoch clock makes re-runs diverge and poisons "
+            "content-addressed cache entries.  Use the engine's round "
+            "counter for logical time; time.perf_counter() is allowed "
+            "for duration measurement."
+        ),
+        scopes=DETERMINISM_SCOPE,
+        example_bad='started = time.time()  # varies per run',
+        example_good="elapsed = time.perf_counter() - t0  # duration only",
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = context.dotted_name(node.func)
+            if dotted in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    context,
+                    node,
+                    f"wall-clock read `{dotted}()` in deterministic code; "
+                    "derive logical time from the engine's round counter "
+                    "(reprolint: disable=D001 if provably "
+                    "digest-irrelevant)",
+                )
+
+
+@register_rule
+class UnseededRandomness(Rule):
+    """D002: no global-RNG or unseeded randomness in deterministic code."""
+
+    info = RuleInfo(
+        code="D002",
+        name="unseeded-randomness",
+        summary="global or unseeded RNG inside the deterministic core",
+        rationale=(
+            "random.random() and friends draw from the interpreter-wide "
+            "RNG whose state any import can perturb, and "
+            "random.Random() with no arguments seeds itself from the "
+            "OS.  Every stochastic component must draw from a "
+            "random.Random(seed) derived from the spec's seed, so the "
+            "same spec always replays the same run."
+        ),
+        scopes=DETERMINISM_SCOPE,
+        example_bad="port = random.randint(1, degree)",
+        example_good="port = random.Random(spec.seed).randint(1, degree)",
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = context.dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted.startswith("random.") and (
+                dotted.split(".", 1)[1] in GLOBAL_RANDOM_CALLS
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    f"`{dotted}()` draws from the global RNG; use a "
+                    "random.Random(seed) instance derived from the spec "
+                    "seed",
+                )
+            elif dotted == "random.Random" and not (
+                node.args or node.keywords
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    "`random.Random()` without a seed self-seeds from "
+                    "the OS; pass a seed derived from the spec",
+                )
+            elif dotted.startswith(("numpy.random.", "np.random.")):
+                yield self.finding(
+                    context,
+                    node,
+                    f"`{dotted}()` uses numpy's global RNG; construct "
+                    "a numpy Generator from the spec seed instead",
+                )
+
+
+@register_rule
+class EnvironmentRead(Rule):
+    """D003: no environment reads in deterministic code."""
+
+    info = RuleInfo(
+        code="D003",
+        name="environment-read",
+        summary="process-environment read inside the deterministic core",
+        rationale=(
+            "os.environ differs between machines, shells and CI runs; a "
+            "read inside the simulation or digest path makes results "
+            "depend on state outside the spec.  Plumb configuration "
+            "through RunSpec fields instead (reprolint: disable=D003 "
+            "only for reads that cannot reach a digest, e.g. cache "
+            "*location* discovery)."
+        ),
+        scopes=DETERMINISM_SCOPE,
+        example_bad='jobs = int(os.environ.get("REPRO_JOBS", "1"))',
+        example_good="jobs = spec_or_cli_argument  # explicit input",
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Attribute) and node.attr == "environ":
+                dotted = context.dotted_name(node)
+                if dotted == "os.environ":
+                    yield self.finding(
+                        context,
+                        node,
+                        "`os.environ` read in deterministic code; pass "
+                        "configuration through the spec or CLI instead",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = context.dotted_name(node.func)
+                if dotted in ("os.getenv", "os.environb.get"):
+                    yield self.finding(
+                        context,
+                        node,
+                        f"`{dotted}()` read in deterministic code; pass "
+                        "configuration through the spec or CLI instead",
+                    )

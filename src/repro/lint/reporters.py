@@ -1,0 +1,68 @@
+"""Rendering of lint reports: human text and schema-stable JSON.
+
+The JSON document is a machine interface (CI annotations, dashboards)
+and is versioned like every other serialized artifact in this repo:
+``format_version`` bumps on any key change, keys are emitted sorted, and
+findings are sorted by location, so byte-identical trees produce
+byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.lint.engine import LintReport
+from repro.lint.rules import rule_catalogue
+
+REPORT_FORMAT_VERSION = 1
+
+
+def report_to_dict(report: LintReport) -> Dict[str, Any]:
+    """The schema-stable dict form of a report (see module docstring)."""
+    return {
+        "kind": "reprolint_report",
+        "format_version": REPORT_FORMAT_VERSION,
+        "ok": report.ok,
+        "files_scanned": report.files_scanned,
+        "suppressed": report.suppressed,
+        "counts": dict(sorted(report.counts().items())),
+        "findings": [finding.to_dict() for finding in report.findings],
+    }
+
+
+def render_json(report: LintReport) -> str:
+    """The report as canonical JSON text (sorted keys, 2-space indent)."""
+    return json.dumps(report_to_dict(report), indent=2, sort_keys=True)
+
+
+def render_text(report: LintReport) -> str:
+    """One line per finding plus a one-line summary."""
+    lines: List[str] = [finding.render() for finding in report.findings]
+    if report.ok:
+        summary = (
+            f"reprolint: {report.files_scanned} file(s) clean"
+        )
+    else:
+        by_code = ", ".join(
+            f"{code} x{count}"
+            for code, count in sorted(report.counts().items())
+        )
+        summary = (
+            f"reprolint: {len(report.findings)} finding(s) in "
+            f"{report.files_scanned} file(s) ({by_code})"
+        )
+    if report.suppressed:
+        summary += f", {report.suppressed} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_rule_catalogue() -> str:
+    """The ``--list-rules`` text: code, name and summary per rule."""
+    lines = []
+    for info in rule_catalogue():
+        scope = ", ".join(info.scopes) if info.scopes else "all files"
+        lines.append(f"{info.code}  {info.name}  [{scope}]")
+        lines.append(f"      {info.summary}")
+    return "\n".join(lines)

@@ -81,7 +81,7 @@ class Runner:
         """Context-manager entry: the runner itself."""
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         """Context-manager exit: close the backend."""
         self.close()
 

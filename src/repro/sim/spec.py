@@ -41,6 +41,7 @@ from typing import (
     List,
     Mapping,
     Optional,
+    Sequence,
     Tuple,
 )
 
@@ -73,7 +74,7 @@ _ACTIVATION_FACTORIES: Dict[str, Callable] = {}
 _DEFAULTS_LOADED = False
 
 
-def register_graph(name: str, factory: Optional[Callable] = None):
+def register_graph(name: str, factory: Optional[Callable] = None) -> Callable:
     """Register ``factory(params, ctx) -> DynamicGraph`` under ``name``.
 
     ``params`` is the spec's parameter mapping; ``ctx`` is a
@@ -87,7 +88,7 @@ def register_graph(name: str, factory: Optional[Callable] = None):
     return factory
 
 
-def register_algorithm(name: str, factory: Optional[Callable] = None):
+def register_algorithm(name: str, factory: Optional[Callable] = None) -> Callable:
     """Register ``factory(params) -> RobotAlgorithm`` under ``name``."""
     if factory is None:
         return lambda fn: register_algorithm(name, fn)
@@ -95,7 +96,7 @@ def register_algorithm(name: str, factory: Optional[Callable] = None):
     return factory
 
 
-def register_byzantine(name: str, factory: Optional[Callable] = None):
+def register_byzantine(name: str, factory: Optional[Callable] = None) -> Callable:
     """Register ``factory(params) -> ByzantinePolicy`` under ``name``."""
     if factory is None:
         return lambda fn: register_byzantine(name, fn)
@@ -103,7 +104,7 @@ def register_byzantine(name: str, factory: Optional[Callable] = None):
     return factory
 
 
-def register_activation(name: str, factory: Optional[Callable] = None):
+def register_activation(name: str, factory: Optional[Callable] = None) -> Callable:
     """Register ``factory(params) -> ActivationSchedule`` under ``name``."""
     if factory is None:
         return lambda fn: register_activation(name, fn)
@@ -539,7 +540,7 @@ def make_spec(
 # ----------------------------------------------------------------------
 
 
-def build_algorithm(spec: RunSpec):
+def build_algorithm(spec: RunSpec) -> Any:
     """Construct the spec's algorithm instance."""
     factory = _lookup(
         _ALGORITHM_FACTORIES, "algorithm", spec.algorithm.name
@@ -547,7 +548,7 @@ def build_algorithm(spec: RunSpec):
     return factory(dict(spec.algorithm.params))
 
 
-def build_graph(spec: RunSpec, algorithm) -> Any:
+def build_graph(spec: RunSpec, algorithm: Any) -> Any:
     """Construct the spec's dynamic-graph process.
 
     ``algorithm`` is the already-built algorithm instance: adaptive
@@ -571,7 +572,7 @@ def build_graph(spec: RunSpec, algorithm) -> Any:
     return factory(params, context)
 
 
-def build_engine(spec: RunSpec, *, observers=()) -> "Any":
+def build_engine(spec: RunSpec, *, observers: Sequence[Any] = ()) -> Any:
     """Materialize the full :class:`~repro.sim.engine.SimulationEngine`."""
     from repro.sim.engine import SimulationEngine
 
@@ -612,7 +613,7 @@ def build_engine(spec: RunSpec, *, observers=()) -> "Any":
     )
 
 
-def execute(spec: RunSpec):
+def execute(spec: RunSpec) -> Any:
     """Build the engine from ``spec`` and run it to termination.
 
     This is the worker function the runners fan out: a pure function of
@@ -670,7 +671,7 @@ def _load_default_components() -> None:
     )
 
     # -- graphs --------------------------------------------------------
-    def _random_churn(params, ctx):
+    def _random_churn(params: Dict[str, Any], ctx: GraphBuildContext) -> RandomChurnDynamicGraph:
         return RandomChurnDynamicGraph(
             ctx.n,
             extra_edges=int(params.get("extra_edges", 0)),
@@ -678,7 +679,7 @@ def _load_default_components() -> None:
             seed=ctx.seed,
         )
 
-    def _t_interval(params, ctx):
+    def _t_interval(params: Dict[str, Any], ctx: GraphBuildContext) -> TIntervalChurnDynamicGraph:
         return TIntervalChurnDynamicGraph(
             ctx.n,
             interval=int(params["interval"]),
@@ -686,13 +687,13 @@ def _load_default_components() -> None:
             seed=ctx.seed,
         )
 
-    def _static_family(params, ctx):
+    def _static_family(params: Dict[str, Any], ctx: GraphBuildContext) -> StaticDynamicGraph:
         snapshot = generators.build_family(
             params["family"], ctx.n, random.Random(ctx.seed)
         )
         return StaticDynamicGraph(snapshot)
 
-    def _ring(params, ctx):
+    def _ring(params: Dict[str, Any], ctx: GraphBuildContext) -> RingDynamicGraph:
         communication = params.get("communication")
         return RingDynamicGraph(
             ctx.n,
@@ -709,20 +710,20 @@ def _load_default_components() -> None:
             neighborhood_knowledge=ctx.neighborhood_knowledge,
         )
 
-    def _star_star(params, ctx):
+    def _star_star(params: Dict[str, Any], ctx: GraphBuildContext) -> StarStarAdversary:
         return StarStarAdversary(
             ctx.n,
             list(params.get("initial_occupied", [0])),
             seed=ctx.seed,
         )
 
-    def _local_stall(params, ctx):
+    def _local_stall(params: Dict[str, Any], ctx: GraphBuildContext) -> LocalStallAdversary:
         return LocalStallAdversary(ctx.n, ctx.algorithm, seed=ctx.seed)
 
-    def _clique_rewiring(params, ctx):
+    def _clique_rewiring(params: Dict[str, Any], ctx: GraphBuildContext) -> CliqueRewiringAdversary:
         return CliqueRewiringAdversary(ctx.n, ctx.algorithm, seed=ctx.seed)
 
-    def _fig3_static(params, ctx):
+    def _fig3_static(params: Dict[str, Any], ctx: GraphBuildContext) -> StaticDynamicGraph:
         from repro.analysis.figures import build_fig3_instance
 
         return StaticDynamicGraph(build_fig3_instance().snapshot)

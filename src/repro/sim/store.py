@@ -59,10 +59,12 @@ def default_cache_dir() -> pathlib.Path:
     ``$REPRO_CACHE_DIR`` if set, else ``$XDG_CACHE_HOME/repro-dispersion``,
     else ``~/.cache/repro-dispersion``.
     """
-    env = os.environ.get(CACHE_DIR_ENV)
+    # Cache *location* discovery only: where entries live cannot reach a
+    # digest or a stored result, so the environment read is safe here.
+    env = os.environ.get(CACHE_DIR_ENV)  # reprolint: disable=D003
     if env:
         return pathlib.Path(env)
-    xdg = os.environ.get("XDG_CACHE_HOME")
+    xdg = os.environ.get("XDG_CACHE_HOME")  # reprolint: disable=D003
     base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
     return base / "repro-dispersion"
 
@@ -217,7 +219,11 @@ class RunStore:
             "digest": digest,
             "salt": self.salt,
             "label": spec.label,
-            "created_at": time.time(),
+            # Provenance metadata only: created_at orders entries for
+            # gc eviction and is never part of the digest pre-image or
+            # the reconstructed RunResult, so the wall-clock read cannot
+            # leak into any content-addressed key.
+            "created_at": time.time(),  # reprolint: disable=D001
             "seconds": seconds,
             "spec": spec.to_dict(),
             "result": run_result_to_dict(result),
@@ -230,7 +236,9 @@ class RunStore:
         )
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, separators=(",", ":"))
+                json.dump(
+                    payload, handle, separators=(",", ":"), sort_keys=True
+                )
             os.replace(tmp_name, path)
         except BaseException:
             try:

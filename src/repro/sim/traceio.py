@@ -232,7 +232,7 @@ def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
 
 def run_result_to_json(result: RunResult, *, indent: Optional[int] = None) -> str:
     """JSON string export of a run."""
-    return json.dumps(run_result_to_dict(result), indent=indent)
+    return json.dumps(run_result_to_dict(result), indent=indent, sort_keys=True)
 
 
 # ---------------------------------------------------------------------------

@@ -1,7 +1,5 @@
 """Tests for the ablated algorithm variants (design-choice experiments)."""
 
-import random
-
 import pytest
 
 from repro.analysis.ablation import (

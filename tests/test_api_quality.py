@@ -67,6 +67,16 @@ PUBLIC_MODULES = [
     "repro.analysis.comparison",
     "repro.analysis.dot",
     "repro.analysis.render",
+    "repro.lint",
+    "repro.lint.cachesafety",
+    "repro.lint.cli",
+    "repro.lint.determinism",
+    "repro.lint.engine",
+    "repro.lint.findings",
+    "repro.lint.hookrules",
+    "repro.lint.registryrules",
+    "repro.lint.reporters",
+    "repro.lint.rules",
     "repro.cli",
 ]
 

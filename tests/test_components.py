@@ -5,8 +5,6 @@ separation of distinct components), and Lemma 1 (all robots of a component
 construct the same component).
 """
 
-import random
-
 import pytest
 
 from repro.analysis.figures import build_fig3_instance
@@ -15,8 +13,7 @@ from repro.core.components import (
     build_component,
     partition_into_components,
 )
-from repro.graph.generators import path_graph, random_connected_graph
-from repro.sim.observation import build_info_packets
+from repro.graph.generators import path_graph
 
 from tests.conftest import make_packets, random_instance, representative_of
 

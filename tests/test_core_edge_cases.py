@@ -5,8 +5,6 @@ corners: degenerate components, saturated graphs, extreme multiplicity
 distributions, and the smallest legal instances of each construction.
 """
 
-import pytest
-
 from repro.core.components import build_component, partition_into_components
 from repro.core.disjoint_paths import compute_disjoint_paths, leaf_node_set
 from repro.core.dispersion import DispersionDynamic, component_moves

@@ -17,7 +17,6 @@ from repro.core.disjoint_paths import (
 )
 from repro.core.spanning_tree import build_spanning_tree
 from repro.graph.generators import path_graph, star_graph
-from repro.sim.observation import build_info_packets
 
 from tests.conftest import make_packets, random_instance
 

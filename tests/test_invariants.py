@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.dispersion import DispersionDynamic
 from repro.graph.dynamic import RandomChurnDynamicGraph
-from repro.graph.generators import path_graph
 from repro.robots.faults import CrashSchedule
 from repro.robots.robot import RobotSet
 from repro.sim.engine import SimulationEngine

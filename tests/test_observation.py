@@ -6,7 +6,6 @@ from repro.graph.generators import path_graph, star_graph
 from repro.graph.snapshot import GraphSnapshot
 from repro.sim.observation import (
     CommunicationModel,
-    InfoPacket,
     NeighborInfo,
     build_info_packets,
     build_observations,

@@ -1,6 +1,5 @@
 """Tests for robot identities, placements, memory accounting, and faults."""
 
-import math
 import random
 
 import pytest

@@ -10,8 +10,6 @@ from repro.analysis.figures import build_fig3_instance
 from repro.core.components import build_component, partition_into_components
 from repro.core.spanning_tree import build_spanning_tree, choose_root
 from repro.graph.generators import cycle_graph, path_graph
-from repro.graph.snapshot import GraphSnapshot
-from repro.sim.observation import build_info_packets
 
 from tests.conftest import make_packets, random_instance
 

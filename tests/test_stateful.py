@@ -27,7 +27,7 @@ from repro.graph.dynamic import (
 )
 from repro.graph.generators import random_connected_graph
 from repro.graph.rings import RingDynamicGraph
-from repro.robots.faults import CrashPhase, CrashSchedule
+from repro.robots.faults import CrashSchedule
 from repro.robots.robot import RobotSet
 from repro.sim.engine import SimulationEngine
 from repro.sim.invariants import verify_run

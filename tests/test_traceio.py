@@ -6,7 +6,7 @@ import random
 import pytest
 
 from repro.core.dispersion import DispersionDynamic
-from repro.graph.dynamic import RandomChurnDynamicGraph, SequenceDynamicGraph
+from repro.graph.dynamic import RandomChurnDynamicGraph
 from repro.graph.generators import path_graph, random_connected_graph
 from repro.robots.robot import RobotSet
 from repro.sim.engine import SimulationEngine
