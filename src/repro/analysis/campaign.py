@@ -20,7 +20,16 @@ Campaigns are *resumable*: pass ``store=RunStore(...)`` (or let the CLI
 default to the user cache dir) and every run is keyed by its spec's
 content hash -- an interrupted or repeated campaign re-executes only the
 specs that are not already stored, and the report's ``cache`` block
-says how many runs were served from disk versus recomputed.
+says how many runs were served from disk versus recomputed (plus how
+many stored entries failed integrity validation and were quarantined).
+
+Campaigns *degrade gracefully*: when the runner stack tolerates faults
+(worker crashes, timeouts, corrupt store entries -- see
+:mod:`repro.chaos`), the structured
+:class:`~repro.chaos.failures.FailureRecord` s are attached to the
+report's ``failures`` list instead of aborting the campaign; the
+section verdicts then tell whether the recovered results still match
+the paper.
 
 Scales: ``"quick"`` (seconds; k up to 64) and ``"full"`` (the benchmark
 suite's sizes, k up to 256).
@@ -30,6 +39,7 @@ from __future__ import annotations
 
 import math
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -77,6 +87,7 @@ class CampaignReport:
     backend: str = "serial"
     total_seconds: float = 0.0
     cache: Optional[Dict[str, int]] = None
+    failures: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def all_passed(self) -> bool:
@@ -95,7 +106,14 @@ class CampaignReport:
         if self.cache is not None:
             blocks.append(
                 f"cache: {self.cache['hits']} hits, "
-                f"{self.cache['recomputed']} recomputed"
+                f"{self.cache['recomputed']} recomputed, "
+                f"{self.cache.get('corrupt_entries', 0)} corrupt entries "
+                "quarantined"
+            )
+        if self.failures:
+            blocks.append(
+                f"faults tolerated: {len(self.failures)} "
+                "(see --json for the structured records)"
             )
         return "\n\n".join(blocks)
 
@@ -109,6 +127,7 @@ class CampaignReport:
             "total_seconds": round(self.total_seconds, 6),
             "total_runs": sum(s.runs for s in self.sections),
             "cache": self.cache,
+            "failures": list(self.failures),
             "sections": [section.to_dict() for section in self.sections],
         }
 
@@ -126,6 +145,41 @@ class _CountingRunner(Runner):
         """Delegate to the wrapped backend, tallying spec counts."""
         self.count += len(specs)
         return self.inner.run(specs)
+
+
+def _runner_chain(runner: Runner) -> List[Runner]:
+    """The runner plus every backend it wraps, outermost first."""
+    chain: List[Runner] = []
+    node: Optional[Runner] = runner
+    while node is not None and not any(node is seen for seen in chain):
+        chain.append(node)
+        node = getattr(node, "inner", None)
+    return chain
+
+
+def _find_caching_runner(runner: Runner) -> Optional[CachingRunner]:
+    """The first :class:`CachingRunner` in the wrapper chain, if any."""
+    for node in _runner_chain(runner):
+        if isinstance(node, CachingRunner):
+            return node
+    return None
+
+
+def _collect_failure_records(runner: Runner) -> List[Any]:
+    """Every structured failure record held anywhere in the chain.
+
+    Duck-typed: any chain node -- or its ``store`` -- exposing a
+    ``failure_records`` sequence (the :mod:`repro.chaos` runners and
+    stores do) contributes, so the campaign needs no import of the
+    chaos package to surface tolerated faults.
+    """
+    records: List[Any] = []
+    for node in _runner_chain(runner):
+        for source in (node, getattr(node, "store", None)):
+            found = getattr(source, "failure_records", None)
+            if found:
+                records.extend(found)
+    return records
 
 
 _CHURN = lambda n, seed: ComponentSpec(  # noqa: E731
@@ -455,14 +509,17 @@ def run_campaign(
     if scale not in ("quick", "full"):
         raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
     backend = runner or SerialRunner()
+    caching = _find_caching_runner(backend)
     if store is not None and not (
-        isinstance(backend, CachingRunner)
-        and backend.store.same_target(store)
+        caching is not None and caching.store.same_target(store)
     ):
         backend = CachingRunner(backend, store)
-    cache_store = backend.store if isinstance(backend, CachingRunner) else None
+        caching = backend
+    cache_store = caching.store if caching is not None else None
     hits_before = cache_store.hits if cache_store is not None else 0
     misses_before = cache_store.misses if cache_store is not None else 0
+    corrupt_before = cache_store.corrupt if cache_store is not None else 0
+    failures_before = Counter(_collect_failure_records(backend))
     report = CampaignReport(scale=scale, backend=backend.name)
     t_campaign = time.perf_counter()
     for build_section in _SECTIONS:
@@ -479,5 +536,12 @@ def run_campaign(
             "hits": cache_store.hits - hits_before,
             "misses": misses,
             "recomputed": misses,
+            "corrupt_entries": cache_store.corrupt - corrupt_before,
         }
+    # Only the records new since this invocation started: a reused
+    # backend (e.g. a chaos replay's warm pass) keeps accumulating.
+    new_records = Counter(_collect_failure_records(backend)) - failures_before
+    report.failures = [
+        record.to_dict() for record in sorted(new_records.elements())
+    ]
     return report

@@ -1,0 +1,70 @@
+"""Deterministic, seeded fault injection across the execution stack.
+
+The paper's robustness results (Theorem 5's crash model, the KLO
+adversary's per-round rewiring) treat faults as *schedulable events* the
+algorithm must survive; this package applies the same discipline to the
+reproduction's own infrastructure.  A :class:`~repro.chaos.plan.FaultPlan`
+-- pure data, like a :class:`~repro.sim.spec.RunSpec` -- names every
+fault to inject at three layers:
+
+* **store** (:class:`~repro.chaos.store.FaultyStore`) -- corrupt cache
+  entries on the read path; the store's integrity layer must detect,
+  quarantine and recompute;
+* **runner** (:class:`~repro.chaos.runner.ChaosPoolRunner`) -- crash,
+  hang or fail worker units; the pool's retry/restart machinery must
+  absorb the loss;
+* **engine** (:class:`~repro.chaos.engine_faults.PhaseFaultObserver`) --
+  raise from a named phase hook mid-run.
+
+:func:`~repro.chaos.replay.replay_plan` replays a plan against the
+reproduction campaign (or any spec grid) and checks *bit-identical
+convergence* against a fault-free baseline, returning the tolerated
+faults as a canonical :class:`~repro.chaos.failures.FailureRecord`
+stream.  ``repro chaos --plan plan.json`` is the CLI entry point;
+``docs/robustness.md`` is the narrative.
+"""
+
+from repro.chaos.failures import (
+    ChaosEngineFault,
+    ChaosTransientError,
+    FAILURE_KINDS,
+    FailureRecord,
+)
+from repro.chaos.plan import (
+    ENGINE_PHASES,
+    EngineFault,
+    FaultPlan,
+    PlanError,
+    RUNNER_FAULT_KINDS,
+    RunnerFault,
+    STORE_FAULT_KINDS,
+    StoreFault,
+    plan_digest,
+)
+from repro.chaos.replay import ChaosReport, RecordingRunner, replay_plan
+from repro.chaos.runner import ChaosPoolRunner
+from repro.chaos.store import FaultyStore, corrupt_entry_file
+from repro.chaos.engine_faults import PhaseFaultObserver
+
+__all__ = [
+    "ChaosEngineFault",
+    "ChaosPoolRunner",
+    "ChaosReport",
+    "ChaosTransientError",
+    "ENGINE_PHASES",
+    "EngineFault",
+    "FAILURE_KINDS",
+    "FailureRecord",
+    "FaultPlan",
+    "FaultyStore",
+    "PhaseFaultObserver",
+    "PlanError",
+    "RecordingRunner",
+    "RUNNER_FAULT_KINDS",
+    "RunnerFault",
+    "STORE_FAULT_KINDS",
+    "StoreFault",
+    "corrupt_entry_file",
+    "plan_digest",
+    "replay_plan",
+]

@@ -1,0 +1,81 @@
+"""Engine-layer fault injection: an observer that raises at a phase.
+
+The engine's CCM loop notifies its observers at seven named points
+(:class:`repro.sim.hooks.EngineObserver`); observer exceptions propagate
+out of :meth:`~repro.sim.engine.SimulationEngine.run` by design.  A
+:class:`PhaseFaultObserver` exploits exactly that: attached via
+``build_engine(spec, observers=[...])`` it raises
+:class:`~repro.chaos.failures.ChaosEngineFault` the first time its
+target phase fires at or after its target round -- turning "what if
+instrumentation blows up mid-round?" into a schedulable, deterministic
+event the runner's retry budget must absorb.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.chaos.failures import ChaosEngineFault
+from repro.chaos.plan import ENGINE_PHASES, PlanError
+from repro.sim.hooks import EngineObserver
+from repro.sim.metrics import RoundRecord, RunResult
+
+
+class PhaseFaultObserver(EngineObserver):
+    """Raises :class:`ChaosEngineFault` at a named phase hook.
+
+    ``phase`` is one of :data:`~repro.chaos.plan.ENGINE_PHASES`;
+    ``round_index`` delays the fault until the phase fires at or after
+    that round (``on_run_start`` / ``on_run_end`` ignore it -- they fire
+    once).  The observer is single-shot per engine run by construction:
+    the raise aborts the run that triggered it.
+    """
+
+    def __init__(
+        self, phase: str, round_index: int = 0, detail: str = ""
+    ) -> None:
+        if phase not in ENGINE_PHASES:
+            raise PlanError(
+                f"unknown engine phase {phase!r}; expected one of "
+                f"{ENGINE_PHASES}"
+            )
+        self.phase = phase
+        self.round_index = round_index
+        self.detail = detail or f"injected engine fault at {phase}"
+
+    def _fire(self, phase: str, round_index: int) -> None:
+        if phase == self.phase and round_index >= self.round_index:
+            raise ChaosEngineFault(self.detail)
+
+    def on_run_start(self, k: int, n: int) -> None:
+        """Fault point before round 0."""
+        self._fire("on_run_start", self.round_index)
+
+    def on_round_start(self, round_index: int, snapshot: object) -> None:
+        """Fault point at graph delivery."""
+        self._fire("on_round_start", round_index)
+
+    def on_communicate(self, round_index: int, observations: Mapping) -> None:
+        """Fault point after packet delivery."""
+        self._fire("on_communicate", round_index)
+
+    def on_compute(self, round_index: int, decisions: Mapping) -> None:
+        """Fault point after decision collection."""
+        self._fire("on_compute", round_index)
+
+    def on_move(
+        self,
+        round_index: int,
+        moved: Tuple[int, ...],
+        positions: Dict[int, int],
+    ) -> None:
+        """Fault point after move application."""
+        self._fire("on_move", round_index)
+
+    def on_round_end(self, record: RoundRecord) -> None:
+        """Fault point at round bookkeeping."""
+        self._fire("on_round_end", record.round_index)
+
+    def on_run_end(self, result: RunResult) -> None:
+        """Fault point at run completion."""
+        self._fire("on_run_end", self.round_index)

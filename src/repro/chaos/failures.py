@@ -1,0 +1,83 @@
+"""Structured failure records and the chaos exception types.
+
+A :class:`FailureRecord` is one observed, tolerated fault: which work
+unit it hit, on which attempt, what kind of fault it was, and a
+deterministic human-readable detail.  The taxonomy mirrors the layers a
+fault can originate from:
+
+* ``crash``     -- a worker process was lost (SIGKILL, OOM) and broke
+  the pool;
+* ``timeout``   -- a unit exceeded its wall-clock budget (a hung
+  worker);
+* ``corrupt``   -- a store entry failed integrity validation and was
+  quarantined;
+* ``transient`` -- a dispatched task raised a retriable exception;
+* ``engine``    -- an exception escaped a named engine phase hook.
+
+Records are plain frozen data with a total order, so a chaos replay's
+failure stream can be sorted into a canonical sequence and compared
+bit-for-bit across replays -- the golden-test property of
+:func:`repro.chaos.replay.replay_plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+#: Every failure kind a record may carry, by injection layer.
+FAILURE_KINDS: Tuple[str, ...] = (
+    "crash",
+    "timeout",
+    "corrupt",
+    "transient",
+    "engine",
+)
+
+
+class ChaosTransientError(RuntimeError):
+    """The injected retriable task failure (runner layer)."""
+
+
+class ChaosEngineFault(RuntimeError):
+    """The injected engine phase-hook failure (engine layer)."""
+
+
+@dataclass(frozen=True, order=True)
+class FailureRecord:
+    """One observed, tolerated fault event.
+
+    Ordering is ``(unit, attempt, kind, detail)`` so a set of records
+    sorts into a canonical sequence regardless of harvest order.
+    """
+
+    unit: int
+    attempt: int
+    kind: str
+    detail: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ValueError(
+                f"unknown failure kind {self.kind!r}; expected one of "
+                f"{FAILURE_KINDS}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (what campaign ``--json`` attaches)."""
+        return {
+            "unit": self.unit,
+            "attempt": self.attempt,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FailureRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            unit=int(data["unit"]),
+            attempt=int(data["attempt"]),
+            kind=str(data["kind"]),
+            detail=str(data["detail"]),
+        )

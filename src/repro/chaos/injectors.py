@@ -1,0 +1,63 @@
+"""Worker-side fault primitives: the intentional-misbehavior shims.
+
+This module is the *only* place in the library allowed to kill, stall or
+fail a process on purpose, and the only file exempted from the
+determinism D-rules (see ``DETERMINISM_EXEMPT`` in
+:mod:`repro.lint.rules`): injecting a hang requires a real sleep, and a
+crash requires a real SIGKILL.  The exemption is narrow by design --
+every injector here is still *scheduled* deterministically: whether a
+fault fires is decided by an explicit on-disk claim counter
+(:func:`claim`), never by wall clock, PID arithmetic or ambient RNG
+state, so a replayed plan consumes its fault budget in exactly the same
+order every time.
+
+The claim-counter idiom (a per-fault file under the replay's working
+directory, read-increment-write) is how a fault "fires N times then
+stops" survives the very worker death it causes: the counter lives
+outside the killed process, exactly like the sentinel files the pool's
+fault-tolerance tests use.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import time
+from typing import Union
+
+from repro.chaos.failures import ChaosTransientError
+
+
+def claim(workdir: Union[str, os.PathLike], key: str, times: int) -> bool:
+    """Consume one firing of fault ``key``; False once ``times`` is spent.
+
+    The counter file persists across worker deaths and pool rebuilds, so
+    a crash fault claimed just before SIGKILL stays claimed -- the
+    re-dispatched unit sees an exhausted budget and runs clean.
+    """
+    path = pathlib.Path(workdir) / f"{key}.count"
+    try:
+        count = int(path.read_text())
+    except (OSError, ValueError):
+        count = 0
+    if count >= times:
+        return False
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(str(count + 1))
+    return True
+
+
+def kill_current_process() -> None:
+    """Die the way a crashed worker dies: SIGKILL, no cleanup, no trace."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def hang(seconds: float) -> None:
+    """Stall the worker past the pool's per-unit timeout."""
+    time.sleep(seconds)
+
+
+def raise_transient(detail: str) -> None:
+    """Raise the retriable injected failure with a deterministic detail."""
+    raise ChaosTransientError(detail)

@@ -1,0 +1,236 @@
+"""Replay a fault plan against a workload and check convergence.
+
+:func:`replay_plan` is the chaos harness's top half, what the ``repro
+chaos`` CLI drives.  It executes the same workload three times:
+
+1. **baseline** -- serially, no store, no faults: the ground truth
+   fingerprint;
+2. **cold chaos** -- through the full chaos stack (recording wrapper ->
+   caching over a :class:`~repro.chaos.store.FaultyStore` -> a
+   :class:`~repro.chaos.runner.ChaosPoolRunner` whose workers write
+   through a clean store at the same root).  Runner and engine faults
+   fire here, while the store populates;
+3. **warm chaos** -- the same stack again.  Reads now find stored
+   entries, so the plan's store faults bite: corrupted entries must be
+   detected, quarantined and recomputed.
+
+Every pass's results are folded into a sha256 *fingerprint* (canonical
+JSON of each :class:`~repro.sim.metrics.RunResult`, in execution order),
+so "the chaos run converged" is a bit-identity check, not a statistical
+one: :attr:`ChaosReport.converged` holds iff both chaos fingerprints
+equal the baseline.  The tolerated faults come back as the canonically
+sorted :class:`~repro.chaos.failures.FailureRecord` stream, which a
+seeded plan reproduces identically on every replay -- the golden-test
+property ``tests/test_chaos.py`` pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.chaos.failures import FailureRecord
+from repro.chaos.plan import FaultPlan, plan_digest
+from repro.chaos.runner import ChaosPoolRunner
+from repro.chaos.store import FaultyStore
+from repro.sim.metrics import RunResult
+from repro.sim.runner import Runner, SerialRunner
+from repro.sim.spec import RunSpec, canonical_json
+from repro.sim.store import CachingRunner, RunStore
+from repro.sim.traceio import run_result_to_dict
+
+
+class RecordingRunner(Runner):
+    """Wraps any runner, folding every result into a sha256 fingerprint.
+
+    The fingerprint is over the canonical JSON of each result in
+    execution order, so two runs fingerprint alike iff they produced
+    bit-identical results in the same order -- across backends, stores
+    and fault plans.
+    """
+
+    name = "recording"
+
+    def __init__(self, inner: Runner) -> None:
+        self.inner = inner
+        self.count = 0
+        self._hash = hashlib.sha256()
+        self.name = f"recording[{inner.name}]"
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Delegate to the wrapped backend, hashing the results."""
+        results = self.inner.run(specs)
+        for result in results:
+            self._hash.update(
+                canonical_json(run_result_to_dict(result)).encode("utf-8")
+            )
+            self._hash.update(b"\n")
+        self.count += len(results)
+        return results
+
+    @property
+    def fingerprint(self) -> str:
+        """The hex digest over every result recorded so far."""
+        return self._hash.hexdigest()
+
+    def close(self) -> None:
+        """Close the wrapped backend."""
+        self.inner.close()
+
+
+@dataclass
+class ChaosReport:
+    """The outcome of one :func:`replay_plan` invocation."""
+
+    plan: Dict[str, Any]
+    plan_digest: str
+    workload: str
+    runs: int
+    baseline_fingerprint: str
+    cold_fingerprint: str
+    warm_fingerprint: str
+    corrupt_entries: int
+    campaign_passed: bool
+    failures: List[FailureRecord] = field(default_factory=list)
+
+    @property
+    def converged(self) -> bool:
+        """Whether both chaos passes reproduced the baseline bits."""
+        return (
+            self.cold_fingerprint == self.baseline_fingerprint
+            and self.warm_fingerprint == self.baseline_fingerprint
+        )
+
+    @property
+    def ok(self) -> bool:
+        """Converged, and the workload's own verdicts still pass."""
+        return self.converged and self.campaign_passed
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable form (what ``repro chaos --json`` writes)."""
+        return {
+            "kind": "chaos_report",
+            "plan": self.plan,
+            "plan_digest": self.plan_digest,
+            "workload": self.workload,
+            "runs": self.runs,
+            "baseline_fingerprint": self.baseline_fingerprint,
+            "cold_fingerprint": self.cold_fingerprint,
+            "warm_fingerprint": self.warm_fingerprint,
+            "corrupt_entries": self.corrupt_entries,
+            "campaign_passed": self.campaign_passed,
+            "converged": self.converged,
+            "ok": self.ok,
+            "failures": [record.to_dict() for record in self.failures],
+        }
+
+    def render(self) -> str:
+        """A human-readable verdict block."""
+        verdict = "CONVERGED" if self.converged else "DIVERGED"
+        lines = [
+            f"chaos replay [{verdict}] plan {self.plan_digest[:12]} "
+            f"({self.workload}, {self.runs} runs/pass)",
+            f"  faults tolerated: {len(self.failures)} "
+            f"({self._kind_summary()})",
+            f"  corrupt entries detected + quarantined: "
+            f"{self.corrupt_entries}",
+            f"  workload verdicts: "
+            f"{'PASS' if self.campaign_passed else 'FAIL'}",
+            f"  baseline {self.baseline_fingerprint[:16]} / "
+            f"cold {self.cold_fingerprint[:16]} / "
+            f"warm {self.warm_fingerprint[:16]}",
+        ]
+        for record in self.failures:
+            lines.append(
+                f"  unit {record.unit} attempt {record.attempt} "
+                f"[{record.kind}] {record.detail}"
+            )
+        return "\n".join(lines)
+
+    def _kind_summary(self) -> str:
+        counts: Dict[str, int] = {}
+        for record in self.failures:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        if not counts:
+            return "none"
+        return ", ".join(
+            f"{kind}={count}" for kind, count in sorted(counts.items())
+        )
+
+
+def _run_workload(
+    runner: Runner,
+    scale: str,
+    specs: Optional[Sequence[RunSpec]],
+) -> bool:
+    """Run the campaign (or an explicit spec grid) through ``runner``."""
+    if specs is not None:
+        runner.run(list(specs))
+        return True
+    from repro.analysis.campaign import run_campaign
+
+    return run_campaign(scale, runner=runner).all_passed
+
+
+def replay_plan(
+    plan: FaultPlan,
+    root: Union[str, os.PathLike],
+    *,
+    scale: str = "quick",
+    specs: Optional[Sequence[RunSpec]] = None,
+    jobs: int = 2,
+    timeout: float = 5.0,
+    baseline_fingerprint: Optional[str] = None,
+) -> ChaosReport:
+    """Replay ``plan`` against a workload; see the module docstring.
+
+    ``root`` must be a fresh directory per replay: it receives the chaos
+    run's store (``<root>/store``) and the plan's fault-budget counters
+    (``<root>/claims``), and a reused root would replay against spent
+    budgets.  The workload is the reproduction campaign at ``scale``,
+    or an explicit ``specs`` grid.  ``baseline_fingerprint`` skips the
+    baseline pass when the caller already knows it (e.g. the second
+    replay of a golden pair).
+    """
+    root = pathlib.Path(root)
+    store_root = root / "store"
+    workdir = root / "claims"
+
+    workload = f"campaign:{scale}" if specs is None else f"grid:{len(specs)}"
+    if baseline_fingerprint is None:
+        baseline = RecordingRunner(SerialRunner())
+        _run_workload(baseline, scale, specs)
+        baseline_fingerprint = baseline.fingerprint
+
+    faulty = FaultyStore(store_root, plan)
+    pool = ChaosPoolRunner(
+        plan,
+        workdir,
+        max_workers=jobs,
+        timeout=timeout,
+        store=RunStore(store_root, salt=faulty.salt),
+    )
+    chaos_stack = CachingRunner(pool, faulty)
+    try:
+        cold = RecordingRunner(chaos_stack)
+        cold_passed = _run_workload(cold, scale, specs)
+        warm = RecordingRunner(chaos_stack)
+        warm_passed = _run_workload(warm, scale, specs)
+    finally:
+        pool.close()
+
+    return ChaosReport(
+        plan=plan.to_dict(),
+        plan_digest=plan_digest(plan),
+        workload=workload,
+        runs=cold.count,
+        baseline_fingerprint=baseline_fingerprint,
+        cold_fingerprint=cold.fingerprint,
+        warm_fingerprint=warm.fingerprint,
+        corrupt_entries=faulty.corrupt,
+        campaign_passed=cold_passed and warm_passed,
+        failures=sorted(list(pool.failures) + list(faulty.failures)),
+    )

@@ -1,0 +1,125 @@
+"""Store-layer fault injection: a RunStore that sabotages its entries.
+
+A :class:`FaultyStore` is a drop-in :class:`~repro.sim.store.RunStore`
+that corrupts its own on-disk entries *immediately before reading them
+back*, per a :class:`~repro.chaos.plan.FaultPlan`.  Fault positions are
+counted over the reads that find an existing entry (a cold read of an
+absent digest has nothing to corrupt and consumes no fault), so
+``op_index=2`` always hits the third stored entry a replay reads --
+deterministic regardless of how many cold misses interleave.
+
+The corruption itself (:func:`corrupt_entry_file`) writes real damage to
+the real file: flipped bits inside the checksummed content, truncation
+at the midpoint, a rewritten salt, or undecodable bytes.  Detection is
+entirely the base class's job -- the read path's integrity validation
+must catch every one of these, quarantine the entry and recompute, which
+is exactly the property the chaos suite pins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.chaos.failures import FailureRecord
+from repro.chaos.plan import FaultPlan, StoreFault
+from repro.sim.metrics import RunResult
+from repro.sim.spec import CODE_VERSION_SALT, RunSpec
+from repro.sim.store import RunStore
+
+
+def corrupt_entry_file(
+    path: pathlib.Path, kind: str, rng: random.Random
+) -> bool:
+    """Damage the entry at ``path`` in place; False if nothing is there.
+
+    ``bit_flip`` flips one bit at an ``rng``-chosen offset inside the
+    checksummed region (at or after the ``"spec"`` key, so the flip can
+    never land in provenance metadata the checksum ignores);
+    ``truncate`` cuts the file at the midpoint; ``stale_salt`` rewrites
+    the recorded salt (checksum and spec-digest validation must catch
+    the lie); ``unreadable`` replaces the head with bytes that do not
+    decode as UTF-8.
+    """
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return False
+    if not data:
+        return False
+    if kind == "truncate":
+        path.write_bytes(data[: len(data) // 2])
+    elif kind == "unreadable":
+        path.write_bytes(b"\xff\xfe" + data[:32])
+    elif kind == "stale_salt":
+        try:
+            payload = json.loads(data.decode("utf-8"))
+            payload["salt"] = str(payload.get("salt", "")) + "-tampered"
+            path.write_text(
+                json.dumps(payload, separators=(",", ":"), sort_keys=True)
+            )
+        except ValueError:
+            # Already unparsable (double-faulted entry): truncate instead.
+            path.write_bytes(data[: len(data) // 2])
+    else:  # bit_flip
+        anchor = data.find(b'"spec"')
+        start = anchor if 0 <= anchor < len(data) else len(data) // 2
+        offset = rng.randrange(start, len(data))
+        flipped = data[offset] ^ (1 << rng.randrange(8))
+        path.write_bytes(data[:offset] + bytes([flipped]) + data[offset + 1:])
+    return True
+
+
+class FaultyStore(RunStore):
+    """A :class:`RunStore` whose read path injects planned corruption.
+
+    Only the *parent-side* store of a chaos stack should be a
+    ``FaultyStore``; pool workers keep writing through a clean
+    :class:`RunStore` at the same root, so injected damage always comes
+    from this instance's deterministic, serially-counted read sequence.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        plan: FaultPlan,
+        *,
+        salt: str = CODE_VERSION_SALT,
+    ) -> None:
+        super().__init__(root, salt=salt)
+        self.plan = plan
+        self.failures: List[FailureRecord] = []
+        self._stored_reads = 0
+        self._by_op: Dict[int, List[Tuple[int, StoreFault]]] = {}
+        for index, fault in enumerate(plan.store):
+            self._by_op.setdefault(fault.op_index, []).append((index, fault))
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        """Corrupt the entry first if a fault targets this read."""
+        path = self.path_for(self.digest(spec))
+        if path.exists():
+            op = self._stored_reads
+            self._stored_reads += 1
+            for index, fault in self._by_op.get(op, []):
+                rng = random.Random(f"chaos:{self.plan.seed}:store:{index}")
+                if corrupt_entry_file(path, fault.kind, rng):
+                    self.failures.append(
+                        FailureRecord(
+                            unit=op,
+                            attempt=0,
+                            kind="corrupt",
+                            detail=(
+                                f"injected {fault.kind} into entry "
+                                f"{path.stem[:12]}"
+                            ),
+                        )
+                    )
+        return super().get(spec)
+
+    @property
+    def failure_records(self) -> List[FailureRecord]:
+        """The injected-corruption records, in canonical order."""
+        return sorted(self.failures)

@@ -7,8 +7,10 @@ Subcommands mirror the experiment suite:
 * ``faults``      -- rounds vs. f crash faults (Table I row 4 shape);
 * ``lower-bound`` -- the Theorem 3 star-star adversary (Figure 2 shape);
 * ``figure3``     -- the reconstructed Figure 3/4 worked example;
-* ``cache``       -- inspect (``stats``) or clean (``gc``, ``clear``)
-  the content-addressed run store;
+* ``cache``       -- inspect (``stats``, ``verify``) or clean (``gc``,
+  ``clear``) the content-addressed run store;
+* ``chaos``       -- replay a seeded fault plan (:mod:`repro.chaos`)
+  against the campaign and assert bit-identical convergence;
 * ``lint``        -- the AST-based determinism / cache-safety analyzer
   (:mod:`repro.lint`): checks the D/C/R/H invariant rules over a source
   tree, with ``--json`` for the machine-readable report.
@@ -315,14 +317,64 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             max_bytes=args.max_bytes,
             drop_stale=not args.keep_stale,
         )
-        print(
+        line = (
             f"gc: removed {outcome['removed']} entries, "
-            f"kept {outcome['kept']} ({store.root})"
+            f"kept {outcome['kept']}"
         )
+        if outcome["unlink_errors"]:
+            line += f", {outcome['unlink_errors']} unlink errors"
+        print(f"{line} ({store.root})")
+    elif args.cache_command == "verify":
+        report = store.verify(quarantine=args.fix)
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
+            if report.corrupt and args.fix:
+                print(
+                    "quarantined entries are recomputed on their next "
+                    f"read ({store.quarantine_dir})"
+                )
+        return 0 if report.clean else 1
     else:  # clear
         removed = store.clear()
         print(f"clear: removed {removed} entries ({store.root})")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.chaos import FaultPlan, PlanError, replay_plan
+
+    try:
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(handle.read())
+    except OSError as error:
+        print(f"error: cannot read fault plan: {error}", file=sys.stderr)
+        return 2
+    except PlanError as error:
+        print(f"error: invalid fault plan: {error}", file=sys.stderr)
+        return 2
+
+    scale = "quick" if args.quick else args.scale
+    # The replay corrupts store entries by design, so it always runs
+    # against a throwaway root -- never the user's cache.
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as root:
+        report = replay_plan(
+            plan,
+            root,
+            scale=scale,
+            jobs=args.jobs,
+            timeout=args.timeout,
+        )
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -428,16 +480,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-stale", action="store_true",
         help="keep entries written under older code-version salts",
     )
+    p_cache_verify = cache_sub.add_parser(
+        "verify",
+        help="checksum every entry; exit 1 if any corruption is found",
+    )
+    p_cache_verify.add_argument(
+        "--fix", action="store_true",
+        help="quarantine corrupt entries so the next read recomputes them",
+    )
+    p_cache_verify.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
     p_cache_clear = cache_sub.add_parser(
         "clear", help="remove every entry from the store"
     )
-    for cache_parser in (p_cache_stats, p_cache_gc, p_cache_clear):
+    for cache_parser in (
+        p_cache_stats, p_cache_gc, p_cache_verify, p_cache_clear
+    ):
         cache_parser.add_argument(
             "--cache-dir", default=None, metavar="PATH",
             help="run-store location (default: $REPRO_CACHE_DIR or the "
             "user cache dir)",
         )
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="replay a seeded fault plan and check bit-identical "
+        "convergence",
+    )
+    p_chaos.add_argument(
+        "--plan", required=True, metavar="PATH",
+        help="FaultPlan JSON file (see docs/robustness.md)",
+    )
+    p_chaos.add_argument(
+        "--scale", choices=("quick", "full"), default="quick"
+    )
+    p_chaos.add_argument(
+        "--quick", action="store_true",
+        help="alias for --scale quick (the default)",
+    )
+    p_chaos.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes for the chaos pool (default 2)",
+    )
+    p_chaos.add_argument(
+        "--timeout", type=float, default=5.0, metavar="S",
+        help="per-unit wall-clock limit for the chaos pool (hang faults "
+        "must exceed this to fire as timeouts)",
+    )
+    p_chaos.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the machine-readable chaos report",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_dot = sub.add_parser("export-dot", help="export Graphviz DOT pictures")
     p_dot.add_argument(

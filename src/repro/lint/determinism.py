@@ -18,6 +18,7 @@ from typing import Iterator
 
 from repro.lint.findings import Finding, RuleInfo
 from repro.lint.rules import (
+    DETERMINISM_EXEMPT,
     DETERMINISM_SCOPE,
     ModuleContext,
     Rule,
@@ -95,6 +96,7 @@ class WallClockRead(Rule):
             "for duration measurement."
         ),
         scopes=DETERMINISM_SCOPE,
+        exempt=DETERMINISM_EXEMPT,
         example_bad='started = time.time()  # varies per run',
         example_good="elapsed = time.perf_counter() - t0  # duration only",
     )
@@ -132,6 +134,7 @@ class UnseededRandomness(Rule):
             "same spec always replays the same run."
         ),
         scopes=DETERMINISM_SCOPE,
+        exempt=DETERMINISM_EXEMPT,
         example_bad="port = random.randint(1, degree)",
         example_good="port = random.Random(spec.seed).randint(1, degree)",
     )
@@ -188,6 +191,7 @@ class EnvironmentRead(Rule):
             "*location* discovery)."
         ),
         scopes=DETERMINISM_SCOPE,
+        exempt=DETERMINISM_EXEMPT,
         example_bad='jobs = int(os.environ.get("REPRO_JOBS", "1"))',
         example_good="jobs = spec_or_cli_argument  # explicit input",
     )

@@ -134,7 +134,7 @@ def lint_source(
     table = _suppressions(source)
     context = ModuleContext(path=path, tree=tree, source=source)
     for rule in rules:
-        if not path_in_scope(path, rule.info.scopes):
+        if not path_in_scope(path, rule.info.scopes, rule.info.exempt):
             continue
         for finding in rule.check(context):
             if _is_suppressed(finding, table):

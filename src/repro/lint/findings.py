@@ -50,8 +50,11 @@ class RuleInfo:
     ``scopes`` is the tuple of path patterns the rule applies to (a
     pattern ending in ``/`` matches a directory segment, anything else
     matches a path suffix); an empty tuple means the rule applies to
-    every analyzed file.  ``example_bad`` / ``example_good`` are small
-    snippets used by the docs and the rule catalogue.
+    every analyzed file.  ``exempt`` patterns (same shapes) carve
+    specific files back out of the scope -- e.g. the chaos package's
+    injector shims, whose whole job is the nondeterminism the D rules
+    forbid.  ``example_bad`` / ``example_good`` are small snippets used
+    by the docs and the rule catalogue.
     """
 
     code: str
@@ -59,6 +62,7 @@ class RuleInfo:
     summary: str
     rationale: str
     scopes: Tuple[str, ...] = field(default=())
+    exempt: Tuple[str, ...] = field(default=())
     example_bad: str = ""
     example_good: str = ""
 

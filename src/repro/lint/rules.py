@@ -46,6 +46,17 @@ DETERMINISM_SCOPE = (
     "core/",
     "baselines/",
     "adversary/",
+    "chaos/",
+)
+
+#: Files inside a determinism scope that are exempt from the D rules:
+#: the chaos package's injector shims *are* the nondeterminism (a
+#: SIGKILL, a sleep) by design.  Exemption is deliberately surgical --
+#: one file, not the package -- so the rest of :mod:`repro.chaos`
+#: (plans, records, replay fingerprints) stays under the full
+#: determinism obligations its seeded-replay contract requires.
+DETERMINISM_EXEMPT = (
+    "chaos/injectors.py",
 )
 
 #: Path scope of the digest pipeline itself: the modules whose
@@ -58,23 +69,33 @@ CACHE_SCOPE = (
 )
 
 
-def path_in_scope(path: str, scopes: Sequence[str]) -> bool:
-    """Whether ``path`` falls under any of the scope patterns.
-
-    An empty ``scopes`` means "everywhere".  ``path`` is compared in
-    POSIX form, case-sensitively.
-    """
-    if not scopes:
-        return True
+def _path_matches(path: str, patterns: Sequence[str]) -> bool:
     normalized = path.replace("\\", "/")
     segments = normalized.split("/")
-    for pattern in scopes:
+    for pattern in patterns:
         if pattern.endswith("/"):
             if pattern[:-1] in segments[:-1]:
                 return True
         elif normalized == pattern or normalized.endswith("/" + pattern):
             return True
     return False
+
+
+def path_in_scope(
+    path: str, scopes: Sequence[str], exempt: Sequence[str] = ()
+) -> bool:
+    """Whether ``path`` falls under any of the scope patterns.
+
+    An empty ``scopes`` means "everywhere".  ``exempt`` patterns (same
+    shapes as scopes) carve files back *out* -- a path matching one is
+    never in scope, even under empty-``scopes``.  ``path`` is compared
+    in POSIX form, case-sensitively.
+    """
+    if exempt and _path_matches(path, exempt):
+        return False
+    if not scopes:
+        return True
+    return _path_matches(path, scopes)
 
 
 @dataclass

@@ -47,13 +47,33 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+)
 
 from repro.sim.metrics import RunResult
 from repro.sim.spec import RunSpec, execute
 
 if TYPE_CHECKING:  # pragma: no cover - circular-import guard (annotations)
     from repro.sim.store import RunStore
+
+#: Signature of :class:`ProcessPoolRunner`'s optional fault-event hook:
+#: ``hook(kind, spec_indices, attempt, detail)`` where ``kind`` is one of
+#: ``"timeout"`` (a unit exceeded its wall-clock budget), ``"crash"`` (a
+#: worker process was lost and broke the pool) or ``"exception"`` (the
+#: dispatched task raised).  ``spec_indices`` are the unit's positions in
+#: the current :meth:`~ProcessPoolRunner.run` call's spec sequence and
+#: ``attempt`` is how many times the unit has been charged so far.  The
+#: hook observes; recovery (retry, pool rebuild, re-dispatch) proceeds
+#: exactly as without one.  This is what :mod:`repro.chaos` builds its
+#: structured ``FailureRecord`` stream on.
+FailureHook = Callable[[str, List[int], int, str], None]
 
 
 class RunnerError(RuntimeError):
@@ -135,6 +155,9 @@ class ProcessPoolRunner(Runner):
     it (at most ``max_restarts`` times per call) and re-dispatches every
     unfinished unit.  ``store`` (a :class:`~repro.sim.store.RunStore`)
     makes workers execute through the shared content-addressed cache.
+    ``failure_hook`` (a :data:`FailureHook`) observes every fault event
+    -- timeout, worker loss, task exception -- as it is handled; it never
+    changes recovery behavior.
     """
 
     name = "process_pool"
@@ -149,6 +172,7 @@ class ProcessPoolRunner(Runner):
         retry_backoff: float = 0.05,
         max_restarts: int = 3,
         store: Optional["RunStore"] = None,
+        failure_hook: Optional[FailureHook] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -167,7 +191,14 @@ class ProcessPoolRunner(Runner):
         self.retry_backoff = retry_backoff
         self.max_restarts = max_restarts
         self.store = store
+        self.failure_hook = failure_hook
         self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _notify_failure(
+        self, kind: str, unit: List[int], attempt: int, detail: str
+    ) -> None:
+        if self.failure_hook is not None:
+            self.failure_hook(kind, list(unit), attempt, detail)
 
     @property
     def effective_workers(self) -> int:
@@ -278,6 +309,12 @@ class ProcessPoolRunner(Runner):
                         unit_index = futures.pop(future)
                         deadlines.pop(future, None)
                         attempts[unit_index] += 1
+                        self._notify_failure(
+                            "timeout",
+                            units[unit_index],
+                            attempts[unit_index],
+                            f"unit exceeded the {self.timeout}s timeout",
+                        )
                         if attempts[unit_index] > self.retries:
                             self._discard_pool()
                             raise RunnerError(
@@ -306,10 +343,22 @@ class ProcessPoolRunner(Runner):
                     if isinstance(error, BrokenExecutor):
                         # A worker died; which unit killed it is unknown,
                         # so re-dispatch without charging the budget.
+                        self._notify_failure(
+                            "crash",
+                            units[unit_index],
+                            attempts[unit_index],
+                            "worker process lost (pool broken)",
+                        )
                         pending.append(unit_index)
                         broken = True
                         continue
                     attempts[unit_index] += 1
+                    self._notify_failure(
+                        "exception",
+                        units[unit_index],
+                        attempts[unit_index],
+                        repr(error),
+                    )
                     if attempts[unit_index] > self.retries:
                         self._discard_pool()
                         raise RunnerError(
@@ -350,6 +399,30 @@ class ProcessPoolRunner(Runner):
                         ):
                             results[offset] = result
                     else:
+                        if (
+                            future.done()
+                            and not future.cancelled()
+                            and future.exception() is not None
+                        ):
+                            # The break failed this future before the
+                            # harvesting loop saw it; report it here so a
+                            # lost unit is observed no matter which path
+                            # collects it.  Re-dispatch stays uncharged.
+                            error = future.exception()
+                            if isinstance(error, BrokenExecutor):
+                                self._notify_failure(
+                                    "crash",
+                                    units[unit_index],
+                                    attempts[unit_index],
+                                    "worker process lost (pool broken)",
+                                )
+                            else:
+                                self._notify_failure(
+                                    "exception",
+                                    units[unit_index],
+                                    attempts[unit_index],
+                                    repr(error),
+                                )
                         pending.append(unit_index)
                 restarts += 1
                 if restarts > self.max_restarts:

@@ -478,23 +478,34 @@ def _canonical_value(value: Any) -> Any:
     )
 
 
-def canonical_spec_json(spec: "RunSpec") -> str:
-    """The spec's canonical JSON: one byte string per semantic spec.
+def canonical_json(data: Any) -> str:
+    """Canonical compact JSON of a pure-data value.
 
     Keys are sorted at every depth, separators are compact, and values go
     through :func:`_canonical_value`, so dict insertion order and float
-    spelling (``1.0`` vs ``1``) cannot change the output.  The display
-    ``label`` is excluded: it never influences the run.  This is the
-    hashing pre-image of :func:`spec_digest`.
+    spelling (``1.0`` vs ``1``) cannot change the output.  This is the
+    shared serialization of every content-addressed payload in the
+    library: spec digests (:func:`canonical_spec_json`), store entry
+    checksums (:mod:`repro.sim.store`) and fault-plan digests
+    (:mod:`repro.chaos.plan`).
     """
-    data = spec.to_dict()
-    data.pop("label", None)
     return json.dumps(
         _canonical_value(data),
         sort_keys=True,
         separators=(",", ":"),
         allow_nan=False,
     )
+
+
+def canonical_spec_json(spec: "RunSpec") -> str:
+    """The spec's canonical JSON: one byte string per semantic spec.
+
+    The display ``label`` is excluded: it never influences the run.  This
+    is the hashing pre-image of :func:`spec_digest`.
+    """
+    data = spec.to_dict()
+    data.pop("label", None)
+    return canonical_json(data)
 
 
 def spec_digest(spec: "RunSpec", *, salt: str = CODE_VERSION_SALT) -> str:

@@ -14,10 +14,19 @@ Layout (``layout v1``)::
 
     <root>/v1/<digest[:2]>/<digest>.json   one entry per stored run
     <root>/tmp/                            staging area for atomic writes
+    <root>/quarantine/<digest>.json        entries that failed integrity
 
 Each entry carries the digest, the salt, the full spec, the full result
 (:func:`~repro.sim.traceio.run_result_to_dict`), the wall-clock seconds
-the original execution took, and a creation timestamp.  Writes go to the
+the original execution took, a creation timestamp, and a sha256
+``checksum`` over the content-bearing fields (digest, salt, spec,
+result).  The read path re-derives that checksum on every hit: an entry
+that fails to parse, whose checksum mismatches, or whose digest does not
+match its address is *quarantined* (moved to ``<root>/quarantine/``,
+preserving the evidence), counted in ``corrupt_entries``, and treated as
+a miss -- the spec is recomputed and the fresh write repairs the store,
+so a corrupt entry can never serve a wrong result.  :meth:`RunStore.verify`
+runs the same integrity checks over the whole store offline.  Writes go to the
 staging area and are published with ``os.replace``, which is atomic on
 POSIX: any number of processes -- including the worker processes of a
 :class:`~repro.sim.runner.ProcessPoolRunner` sharing one store -- may
@@ -34,17 +43,23 @@ exposes them as ``repro-dispersion cache stats|gc|clear``.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
 import tempfile
 import time
-from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 from repro.sim.metrics import RunResult
 from repro.sim.runner import Runner
-from repro.sim.spec import CODE_VERSION_SALT, RunSpec, spec_digest
+from repro.sim.spec import (
+    CODE_VERSION_SALT,
+    RunSpec,
+    canonical_json,
+    spec_digest,
+)
 from repro.sim.traceio import run_result_from_dict, run_result_to_dict
 
 LAYOUT_VERSION = 1
@@ -67,6 +82,25 @@ def default_cache_dir() -> pathlib.Path:
     xdg = os.environ.get("XDG_CACHE_HOME")  # reprolint: disable=D003
     base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
     return base / "repro-dispersion"
+
+
+def entry_checksum(
+    digest: str,
+    salt: str,
+    spec: Mapping[str, Any],
+    result: Mapping[str, Any],
+) -> str:
+    """The integrity checksum of one store entry's content fields.
+
+    A sha256 over the canonical JSON of the content-bearing fields only:
+    provenance metadata (``created_at``, ``seconds``, ``label``) is
+    excluded so equal results always carry equal checksums, mirroring how
+    :func:`~repro.sim.spec.spec_digest` excludes the display label.
+    """
+    payload = canonical_json(
+        {"digest": digest, "salt": salt, "spec": dict(spec), "result": dict(result)}
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -92,6 +126,7 @@ class StoreStats:
     misses: int
     writes: int
     root: str
+    corrupt_entries: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """Machine-readable form (what ``cache stats --json`` emits)."""
@@ -103,6 +138,7 @@ class StoreStats:
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+            "corrupt_entries": self.corrupt_entries,
         }
 
     def render(self) -> str:
@@ -111,8 +147,46 @@ class StoreStats:
             f"store {self.root}\n"
             f"  entries {self.entries}, {self.size_bytes} bytes\n"
             f"  session: {self.hits} hits, {self.misses} misses, "
-            f"{self.writes} writes"
+            f"{self.writes} writes, {self.corrupt_entries} corrupt"
         )
+
+
+@dataclass
+class VerifyReport:
+    """The outcome of one :meth:`RunStore.verify` integrity scan."""
+
+    checked: int = 0
+    ok: int = 0
+    corrupt: List[Dict[str, str]] = field(default_factory=list)
+    quarantined: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether every checked entry passed integrity validation."""
+        return not self.corrupt
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable form (what ``cache verify --json`` emits)."""
+        return {
+            "kind": "run_store_verify",
+            "checked": self.checked,
+            "ok": self.ok,
+            "corrupt": list(self.corrupt),
+            "quarantined": self.quarantined,
+            "clean": self.clean,
+        }
+
+    def render(self) -> str:
+        """A summary line plus one line per corrupt entry."""
+        lines = [
+            f"verify: {self.checked} entries checked, {self.ok} ok, "
+            f"{len(self.corrupt)} corrupt, {self.quarantined} quarantined"
+        ]
+        for item in self.corrupt:
+            lines.append(
+                f"  corrupt {item['digest'][:12]}...: {item['reason']}"
+            )
+        return "\n".join(lines)
 
 
 class RunStore:
@@ -140,6 +214,7 @@ class RunStore:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.corrupt = 0
 
     def __repr__(self) -> str:
         return f"RunStore({str(self.root)!r}, salt={self.salt!r})"
@@ -151,6 +226,11 @@ class RunStore:
     @property
     def _objects(self) -> pathlib.Path:
         return self.root / f"v{LAYOUT_VERSION}"
+
+    @property
+    def quarantine_dir(self) -> pathlib.Path:
+        """Where entries that fail integrity validation are moved."""
+        return self.root / "quarantine"
 
     def digest(self, spec: RunSpec) -> str:
         """The content address of ``spec`` under this store's salt."""
@@ -168,32 +248,66 @@ class RunStore:
     # Read / write
     # ------------------------------------------------------------------
 
+    def _check_integrity(self, digest: str, payload: Mapping[str, Any]) -> None:
+        """Raise ``ValueError`` unless ``payload`` is a sound entry for
+        ``digest`` (right kind, address matches, checksum re-derives)."""
+        if payload.get("kind") != "run_store_entry":
+            raise ValueError("not a run_store_entry")
+        if payload.get("digest") != digest:
+            raise ValueError("entry digest does not match its address")
+        expected = entry_checksum(
+            digest,
+            str(payload.get("salt", "")),
+            payload["spec"],
+            payload["result"],
+        )
+        if payload.get("checksum") != expected:
+            raise ValueError("payload checksum mismatch")
+
+    def _quarantine(self, path: pathlib.Path) -> bool:
+        """Move a corrupt entry aside (preserving the evidence); True on
+        success, False if it could not be moved *or* removed."""
+        target = self.quarantine_dir / path.name
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+            return True
+        except OSError:
+            try:
+                path.unlink()
+                return True
+            except OSError:
+                return False
+
     def get(self, spec: RunSpec) -> Optional[RunResult]:
         """The stored result for ``spec``, or ``None`` on a miss.
 
         A hit reconstructs a :class:`RunResult` equal, field for field,
-        to the one originally stored.  Unreadable or torn entries are
-        treated as misses and dropped, never propagated.
+        to the one originally stored.  An entry that fails integrity
+        validation (does not parse, wrong kind, digest/address mismatch,
+        checksum mismatch) is counted in :attr:`corrupt`, quarantined to
+        ``<root>/quarantine/`` and treated as a miss -- the caller
+        recomputes and the fresh :meth:`put` repairs the store, so a
+        corrupt entry can never serve a wrong result.
         """
-        path = self.path_for(self.digest(spec))
+        digest = self.digest(spec)
+        path = self.path_for(digest)
         try:
-            text = path.read_text()
+            raw = path.read_bytes()
         except OSError:
             self.misses += 1
             return None
         try:
-            payload = json.loads(text)
-            if payload.get("kind") != "run_store_entry":
-                raise ValueError("not a run_store_entry")
+            payload = json.loads(raw.decode("utf-8"))
+            self._check_integrity(digest, payload)
             result = run_result_from_dict(payload["result"])
         except (ValueError, KeyError, TypeError):
-            # Corrupt entry (e.g. a partial write from a pre-atomic
-            # layout, or manual tampering): drop it and recompute.
+            # Corrupt entry (bit rot, a torn write from a pre-atomic
+            # layout, or injected tampering): surface it in the corrupt
+            # counter, keep the bytes for diagnosis, recompute.
+            self.corrupt += 1
             self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(path)
             return None
         self.hits += 1
         return result
@@ -213,6 +327,8 @@ class RunStore:
         """
         digest = self.digest(spec)
         path = self.path_for(digest)
+        spec_dict = spec.to_dict()
+        result_dict = run_result_to_dict(result)
         payload = {
             "kind": "run_store_entry",
             "layout_version": LAYOUT_VERSION,
@@ -225,8 +341,11 @@ class RunStore:
             # leak into any content-addressed key.
             "created_at": time.time(),  # reprolint: disable=D001
             "seconds": seconds,
-            "spec": spec.to_dict(),
-            "result": run_result_to_dict(result),
+            # Integrity checksum over the content-bearing fields only
+            # (provenance excluded), re-derived by every read.
+            "checksum": entry_checksum(digest, self.salt, spec_dict, result_dict),
+            "spec": spec_dict,
+            "result": result_dict,
         }
         path.parent.mkdir(parents=True, exist_ok=True)
         staging = self.root / "tmp"
@@ -306,25 +425,31 @@ class RunStore:
         max_bytes: Optional[int] = None,
         drop_stale: bool = True,
     ) -> Dict[str, int]:
-        """Reclaim disk space; returns ``{"removed": ..., "kept": ...}``.
+        """Reclaim disk space; returns removed/kept/unlink-error counts.
 
         ``drop_stale`` removes entries written under a different salt
         (unreachable since the salt bump).  ``max_entries`` /
         ``max_bytes`` then evict oldest-first until the survivors fit
-        both budgets.
+        both budgets.  ``unlink_errors`` counts removal attempts that
+        failed with ``OSError`` (the entry is left in place and still
+        counted as kept) -- surfaced rather than swallowed, so a
+        permission problem in a shared cache is visible.
         """
         live: List[StoreEntry] = []
         removed = 0
+        unlink_errors = 0
         for entry in self.entries():
             if drop_stale and entry.salt != self.salt:
                 try:
                     entry.path.unlink()
                     removed += 1
                 except OSError:
-                    pass
+                    unlink_errors += 1
+                    live.append(entry)
                 continue
             live.append(entry)
         live.sort(key=lambda e: e.created_at)
+        stuck: List[StoreEntry] = []
         total_bytes = sum(e.size_bytes for e in live)
         while live and (
             (max_entries is not None and len(live) > max_entries)
@@ -336,8 +461,16 @@ class RunStore:
                 removed += 1
                 total_bytes -= victim.size_bytes
             except OSError:
-                pass
-        return {"removed": removed, "kept": len(live)}
+                # Unremovable victim: count the error, keep it out of the
+                # eviction loop so the scan always terminates.
+                unlink_errors += 1
+                stuck.append(victim)
+                total_bytes -= victim.size_bytes
+        return {
+            "removed": removed,
+            "kept": len(live) + len(stuck),
+            "unlink_errors": unlink_errors,
+        }
 
     def stats(self) -> StoreStats:
         """Disk usage plus this session's hit/miss/write counters."""
@@ -353,7 +486,64 @@ class RunStore:
             misses=self.misses,
             writes=self.writes,
             root=str(self.root),
+            corrupt_entries=self.corrupt,
         )
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    def _verify_entry(self, path: pathlib.Path) -> Optional[str]:
+        """Why the entry at ``path`` is corrupt, or ``None`` if sound."""
+        try:
+            raw = path.read_bytes()
+        except OSError as error:
+            return f"unreadable: {type(error).__name__}"
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except ValueError:
+            return "does not decode as JSON"
+        try:
+            self._check_integrity(path.stem, payload)
+        except (ValueError, KeyError, TypeError) as error:
+            return str(error) or type(error).__name__
+        # Deep check: the stored spec must hash back to the address under
+        # the recorded salt, so a tampered salt or spec cannot hide
+        # behind a recomputed checksum.
+        try:
+            spec = RunSpec.from_dict(payload["spec"])
+            derived = spec_digest(spec, salt=str(payload.get("salt", "")))
+        except (ValueError, KeyError, TypeError) as error:
+            return f"stored spec does not reconstruct: {error}"
+        if derived != path.stem:
+            return "stored spec does not hash to the entry address"
+        return None
+
+    def verify(self, *, quarantine: bool = False) -> VerifyReport:
+        """Scan every entry (any salt) and validate its integrity.
+
+        Checks, per entry: JSON decodes, kind marker, digest matches the
+        file's address, the sha256 payload checksum re-derives, and the
+        stored spec hashes back to the address under its recorded salt.
+        With ``quarantine=True`` corrupt entries are moved to
+        ``<root>/quarantine/`` so the next read recomputes them; the
+        report lists each corrupt entry with its reason either way.
+        """
+        report = VerifyReport()
+        if not self._objects.is_dir():
+            return report
+        for path in sorted(self._objects.glob("*/*.json")):
+            report.checked += 1
+            reason = self._verify_entry(path)
+            if reason is None:
+                report.ok += 1
+                continue
+            report.corrupt.append(
+                {"digest": path.stem, "path": str(path), "reason": reason}
+            )
+            if quarantine and self._quarantine(path):
+                report.quarantined += 1
+        return report
 
 
 def execute_through_store(

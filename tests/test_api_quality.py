@@ -38,6 +38,14 @@ PUBLIC_MODULES = [
     "repro.sim.runner",
     "repro.sim.store",
     "repro.sim.hooks",
+    "repro.chaos",
+    "repro.chaos.engine_faults",
+    "repro.chaos.failures",
+    "repro.chaos.injectors",
+    "repro.chaos.plan",
+    "repro.chaos.replay",
+    "repro.chaos.runner",
+    "repro.chaos.store",
     "repro.core",
     "repro.core.components",
     "repro.core.spanning_tree",

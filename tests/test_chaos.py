@@ -1,0 +1,306 @@
+"""The chaos fault-injection subsystem (:mod:`repro.chaos`).
+
+Covers the robustness contracts the ISSUE pins:
+
+* a :class:`FaultPlan` is pure data: JSON round-trippable, validated,
+  content-addressable with a label-independent digest;
+* every store-fault kind produces corruption the store's integrity
+  layer detects, quarantines and recomputes -- zero wrong results;
+* runner and engine faults are tolerated by the pool's recovery
+  machinery and surface as structured :class:`FailureRecord` s;
+* the golden property: replaying the same seeded plan twice yields an
+  identical failure stream and bit-identical results.
+"""
+
+import pytest
+
+import repro
+from repro.chaos import (
+    ChaosEngineFault,
+    ChaosPoolRunner,
+    EngineFault,
+    FailureRecord,
+    FaultPlan,
+    FaultyStore,
+    PhaseFaultObserver,
+    PlanError,
+    RunnerFault,
+    StoreFault,
+    plan_digest,
+    replay_plan,
+)
+from repro.sim.runner import SerialRunner
+from repro.sim.spec import build_engine, make_spec
+from repro.sim.store import CachingRunner, RunStore
+from repro.sim.traceio import run_result_to_dict
+
+
+def _spec(seed=0, **kwargs):
+    defaults = {"k": 6, "seed": seed, "label": f"chaos test seed={seed}"}
+    defaults.update(kwargs)
+    return make_spec("random_churn", {"n": 12, "extra_edges": 6}, **defaults)
+
+
+def _grid(count=6):
+    return [_spec(seed=s) for s in range(count)]
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            seed=11,
+            store=(StoreFault(kind="bit_flip", op_index=2),),
+            runner=(RunnerFault(kind="crash", unit_index=4),),
+            engine=(EngineFault(phase="on_move", spec_index=7),),
+            label="round trip",
+        )
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        assert again.fault_count == 3
+
+    def test_digest_ignores_label_but_not_faults(self):
+        base = FaultPlan(seed=1, runner=(RunnerFault("transient", 0),))
+        relabeled = FaultPlan(
+            seed=1, runner=(RunnerFault("transient", 0),), label="other"
+        )
+        different = FaultPlan(seed=2, runner=(RunnerFault("transient", 0),))
+        assert plan_digest(base) == plan_digest(relabeled)
+        assert plan_digest(base) != plan_digest(different)
+
+    def test_validation_rejects_bad_values(self):
+        with pytest.raises(PlanError, match="store fault kind"):
+            StoreFault(kind="gamma_ray", op_index=0)
+        with pytest.raises(PlanError, match="runner fault kind"):
+            RunnerFault(kind="explode", unit_index=0)
+        with pytest.raises(PlanError, match="engine phase"):
+            EngineFault(phase="on_lunch", spec_index=0)
+        with pytest.raises(PlanError, match="op_index"):
+            StoreFault(kind="truncate", op_index=-1)
+        with pytest.raises(PlanError, match="times"):
+            RunnerFault(kind="transient", unit_index=0, times=0)
+        with pytest.raises(PlanError, match="format_version"):
+            FaultPlan.from_dict({"format_version": 99, "kind": "fault_plan"})
+        with pytest.raises(PlanError, match="JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_failure_record_round_trip_and_order(self):
+        records = [
+            FailureRecord(unit=3, attempt=1, kind="timeout", detail="b"),
+            FailureRecord(unit=1, attempt=2, kind="crash", detail="a"),
+        ]
+        assert sorted(records)[0].unit == 1
+        for record in records:
+            assert FailureRecord.from_dict(record.to_dict()) == record
+        with pytest.raises(ValueError, match="failure kind"):
+            FailureRecord(unit=0, attempt=0, kind="cosmic", detail="")
+
+
+class TestFaultyStore:
+    @pytest.mark.parametrize(
+        "kind", ["bit_flip", "truncate", "stale_salt", "unreadable"]
+    )
+    def test_every_corruption_kind_is_detected(self, tmp_path, kind):
+        clean = RunStore(tmp_path)
+        spec = _spec()
+        result = repro.execute(spec)
+        clean.put(spec, result)
+        plan = FaultPlan(seed=5, store=(StoreFault(kind=kind, op_index=0),))
+        faulty = FaultyStore(tmp_path, plan)
+        assert faulty.get(spec) is None  # corrupted, detected, missed
+        assert faulty.corrupt == 1
+        assert [r.kind for r in faulty.failure_records] == ["corrupt"]
+        assert kind in faulty.failure_records[0].detail
+        # The entry was quarantined; a recompute-and-put repairs it.
+        assert (faulty.quarantine_dir / faulty.path_for(
+            faulty.digest(spec)
+        ).name).exists()
+        faulty.put(spec, result)
+        assert faulty.get(spec) == result
+
+    def test_op_index_counts_only_stored_reads(self, tmp_path):
+        clean = RunStore(tmp_path)
+        specs = _grid(3)
+        for spec in specs[1:]:
+            clean.put(spec, repro.execute(spec))
+        # Fault at op 1: the *second* read that finds an entry.  The cold
+        # miss of specs[0] must not consume it.
+        plan = FaultPlan(seed=0, store=(StoreFault("truncate", 1),))
+        faulty = FaultyStore(tmp_path, plan)
+        assert faulty.get(specs[0]) is None  # plain miss, no fault burned
+        assert faulty.get(specs[1]) is not None  # op 0: untouched
+        assert faulty.get(specs[2]) is None  # op 1: corrupted
+        assert faulty.corrupt == 1
+
+
+class TestEngineFaults:
+    def test_observer_raises_at_phase(self):
+        observer = PhaseFaultObserver("on_compute", detail="boom")
+        with pytest.raises(ChaosEngineFault, match="boom"):
+            build_engine(_spec(), observers=[observer]).run()
+
+    def test_observer_waits_for_round_index(self):
+        fired_at = []
+
+        class Probe(PhaseFaultObserver):
+            def _fire(self, phase, round_index):
+                if phase == self.phase and round_index >= self.round_index:
+                    fired_at.append(round_index)
+                super()._fire(phase, round_index)
+
+        with pytest.raises(ChaosEngineFault):
+            build_engine(
+                _spec(), observers=[Probe("on_round_end", 2)]
+            ).run()
+        assert fired_at == [2]
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError, match="phase"):
+            PhaseFaultObserver("on_coffee")
+
+
+class TestChaosPoolRunner:
+    def test_transient_fault_is_retried_bit_identical(self, tmp_path):
+        specs = _grid(6)
+        plan = FaultPlan(
+            seed=3, runner=(RunnerFault("transient", unit_index=2),)
+        )
+        with ChaosPoolRunner(plan, tmp_path / "claims", max_workers=2) as pool:
+            results = pool.run(specs)
+        serial = SerialRunner().run(specs)
+        assert [run_result_to_dict(r) for r in results] == [
+            run_result_to_dict(r) for r in serial
+        ]
+        assert [(r.unit, r.kind) for r in pool.failure_records] == [
+            (2, "transient")
+        ]
+
+    def test_engine_fault_is_retried_bit_identical(self, tmp_path):
+        specs = _grid(4)
+        plan = FaultPlan(
+            seed=3, engine=(EngineFault("on_move", spec_index=1),)
+        )
+        with ChaosPoolRunner(plan, tmp_path / "claims", max_workers=2) as pool:
+            results = pool.run(specs)
+        serial = SerialRunner().run(specs)
+        assert [run_result_to_dict(r) for r in results] == [
+            run_result_to_dict(r) for r in serial
+        ]
+        assert [(r.unit, r.kind) for r in pool.failure_records] == [
+            (1, "engine")
+        ]
+
+    def test_unit_indices_are_global_across_runs(self, tmp_path):
+        # Fault on unit 4 must hit the second run() call's second spec.
+        plan = FaultPlan(
+            seed=0, runner=(RunnerFault("transient", unit_index=4),)
+        )
+        with ChaosPoolRunner(plan, tmp_path / "claims", max_workers=2) as pool:
+            pool.run(_grid(3))  # units 0..2, fault not in range
+            assert pool.failure_records == []
+            pool.run(_grid(3))  # units 3..5, fault fires on the middle one
+        assert [(r.unit, r.kind) for r in pool.failure_records] == [
+            (4, "transient")
+        ]
+
+
+class TestReplayGolden:
+    def test_same_plan_replays_identically(self, tmp_path):
+        """The acceptance golden: one seeded plan, replayed twice against
+        the same campaign, yields identical failure streams and
+        bit-identical results (fingerprints equal to the baseline)."""
+        plan = FaultPlan(
+            seed=42,
+            store=(
+                StoreFault("bit_flip", op_index=3),
+                StoreFault("truncate", op_index=11),
+                StoreFault("stale_salt", op_index=19),
+            ),
+            runner=(RunnerFault("transient", unit_index=9),),
+            engine=(EngineFault("on_compute", spec_index=18),),
+            label="golden",
+        )
+        first = replay_plan(plan, tmp_path / "a", scale="quick", jobs=2)
+        second = replay_plan(
+            plan,
+            tmp_path / "b",
+            scale="quick",
+            jobs=2,
+            baseline_fingerprint=first.baseline_fingerprint,
+        )
+        assert first.ok and second.ok
+        assert first.failures == second.failures
+        assert first.cold_fingerprint == second.cold_fingerprint
+        assert first.warm_fingerprint == second.warm_fingerprint
+        assert first.warm_fingerprint == first.baseline_fingerprint
+        assert first.corrupt_entries == 3
+
+    def test_campaign_tolerates_three_corrupt_entries(self, tmp_path):
+        """The acceptance store criterion: three injected corrupt entries,
+        campaign completes, corrupt_entries=3 reported, entries
+        quarantined, every affected spec recomputed -- zero wrong
+        results served (convergence is bit-identity)."""
+        plan = FaultPlan(
+            seed=9,
+            store=(
+                StoreFault("bit_flip", op_index=2),
+                StoreFault("unreadable", op_index=10),
+                StoreFault("truncate", op_index=20),
+            ),
+        )
+        report = replay_plan(plan, tmp_path, scale="quick", jobs=2)
+        assert report.ok
+        assert report.corrupt_entries == 3
+        assert report.campaign_passed
+        assert [r.kind for r in report.failures] == ["corrupt"] * 3
+        quarantined = list((tmp_path / "store" / "quarantine").glob("*.json"))
+        assert len(quarantined) == 3
+        # The machine-readable report round-trips.
+        data = report.to_dict()
+        assert data["ok"] and data["corrupt_entries"] == 3
+        assert len(data["failures"]) == 3
+        assert "CONVERGED" in report.render()
+
+    def test_grid_workload_and_divergence_detection(self, tmp_path):
+        specs = _grid(4)
+        plan = FaultPlan(seed=1)
+        report = replay_plan(plan, tmp_path, specs=specs, jobs=2)
+        assert report.ok and report.runs == len(specs)
+        # A wrong baseline fingerprint must be flagged as divergence.
+        bad = replay_plan(
+            plan,
+            tmp_path / "again",
+            specs=specs,
+            jobs=2,
+            baseline_fingerprint="0" * 64,
+        )
+        assert not bad.converged and not bad.ok
+        assert "DIVERGED" in bad.render()
+
+
+class TestCampaignFailureReporting:
+    def test_campaign_json_carries_failure_records(self, tmp_path):
+        from repro.analysis.campaign import run_campaign
+
+        store_root = tmp_path / "store"
+        plan = FaultPlan(
+            seed=6, runner=(RunnerFault("transient", unit_index=1),)
+        )
+        faulty = FaultyStore(store_root, plan)
+        with ChaosPoolRunner(
+            plan,
+            tmp_path / "claims",
+            max_workers=2,
+            store=RunStore(store_root, salt=faulty.salt),
+        ) as pool:
+            report = run_campaign("quick", runner=CachingRunner(pool, faulty))
+        assert report.all_passed
+        assert [f["kind"] for f in report.failures] == ["transient"]
+        assert report.to_dict()["failures"] == report.failures
+        assert "faults tolerated" in report.render()
+
+    def test_clean_campaign_reports_no_failures(self):
+        from repro.analysis.campaign import run_campaign
+
+        report = run_campaign("quick")
+        assert report.failures == []
+        assert report.to_dict()["failures"] == []

@@ -86,3 +86,110 @@ class TestNewCommands:
                      "--live"]) == 0
         out = capsys.readouterr().out
         assert "round   0" in out and "dispersed" in out
+
+
+def _seed_store(root, count=3):
+    import repro
+    from repro.sim.spec import make_spec
+    from repro.sim.store import RunStore
+
+    store = RunStore(root)
+    specs = [
+        make_spec(
+            "random_churn", {"n": 12, "extra_edges": 6}, k=6, seed=seed
+        )
+        for seed in range(count)
+    ]
+    for spec in specs:
+        store.put(spec, repro.execute(spec))
+    return store, specs
+
+
+class TestCacheVerifyCommand:
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        _seed_store(tmp_path)
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 entries checked, 3 ok, 0 corrupt" in out
+
+    def test_corruption_exits_one_and_fix_quarantines(self, tmp_path, capsys):
+        store, specs = _seed_store(tmp_path)
+        victim = store.path_for(store.digest(specs[0]))
+        victim.write_bytes(victim.read_bytes()[:40])
+        # List-only: reports, exits 1, leaves the entry in place.
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 1
+        assert "1 corrupt, 0 quarantined" in capsys.readouterr().out
+        assert victim.exists()
+        # --fix moves it aside so the next read recomputes.
+        assert main(
+            ["cache", "verify", "--fix", "--cache-dir", str(tmp_path)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt, 1 quarantined" in out and "recomputed" in out
+        assert not victim.exists()
+        assert (store.quarantine_dir / victim.name).exists()
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        _seed_store(tmp_path)
+        assert main(
+            ["cache", "verify", "--json", "--cache-dir", str(tmp_path)]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "run_store_verify"
+        assert data["clean"] is True and data["checked"] == 3
+
+    def test_stats_and_gc_report_integrity_fields(self, tmp_path, capsys):
+        import json
+
+        store, specs = _seed_store(tmp_path)
+        assert main(
+            ["cache", "stats", "--json", "--cache-dir", str(tmp_path)]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["corrupt_entries"] == 0
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 0 entries, kept 3" in out
+        assert "unlink errors" not in out  # only surfaced when nonzero
+
+
+class TestChaosCommand:
+    def test_replay_converges_and_writes_report(self, tmp_path, capsys):
+        import json
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            json.dumps(
+                {
+                    "kind": "fault_plan",
+                    "format_version": 1,
+                    "seed": 3,
+                    "runner": [
+                        {"kind": "transient", "unit_index": 9, "times": 1}
+                    ],
+                }
+            )
+        )
+        report_path = tmp_path / "report.json"
+        assert main(
+            ["chaos", "--plan", str(plan_path), "--quick",
+             "--json", str(report_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CONVERGED" in out
+        data = json.loads(report_path.read_text())
+        assert data["ok"] is True
+        assert [f["kind"] for f in data["failures"]] == ["transient"]
+
+    def test_missing_and_invalid_plans_exit_two(self, tmp_path, capsys):
+        assert main(
+            ["chaos", "--plan", str(tmp_path / "absent.json")]
+        ) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "fault_plan", "format_version": 99}')
+        assert main(["chaos", "--plan", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err and "invalid fault plan" in err

@@ -72,6 +72,43 @@ class TestScopes:
     def test_cache_scope_is_subset_of_determinism_scope(self):
         assert set(CACHE_SCOPE) <= set(DETERMINISM_SCOPE)
 
+    def test_exempt_pattern_carves_file_out_of_scope(self):
+        from repro.lint.rules import DETERMINISM_EXEMPT
+
+        assert path_in_scope("proj/chaos/plan.py", DETERMINISM_SCOPE)
+        assert not path_in_scope(
+            "proj/chaos/injectors.py", DETERMINISM_SCOPE, DETERMINISM_EXEMPT
+        )
+        # Exemption wins even over empty-scope ("everywhere") rules.
+        assert not path_in_scope(
+            "proj/chaos/injectors.py", (), DETERMINISM_EXEMPT
+        )
+
+
+class TestChaosExemption:
+    def test_injector_shims_are_exempt_from_d_rules(self):
+        # The injector module's whole job is nondeterminism (sleeps,
+        # SIGKILL); the D rules must not flag it.
+        report = check(
+            "import time\ntime.sleep(30.0)\nstarted = time.time()\n",
+            path="proj/chaos/injectors.py",
+        )
+        assert report.ok
+
+    def test_rest_of_chaos_package_stays_in_scope(self):
+        # Everything else in chaos/ carries the full determinism
+        # obligations -- its replay contract depends on them.
+        report = check(
+            "import time\nstarted = time.time()\n",
+            path="proj/chaos/plan.py",
+        )
+        assert codes(report) == ["D001"]
+        report = check(
+            "import random\nport = random.randint(1, 4)\n",
+            path="proj/chaos/runner.py",
+        )
+        assert codes(report) == ["D002"]
+
 
 # ----------------------------------------------------------------------
 # D-rules: determinism

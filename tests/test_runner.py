@@ -220,6 +220,66 @@ class TestPoolFaultTolerance:
                 pool.run([spec])
         assert time.perf_counter() - start < 10.0
 
+    def test_worker_kill_with_shared_store_leaves_no_torn_entries(
+        self, tmp_path
+    ):
+        """SIGKILL a worker mid-sweep while every worker writes through a
+        shared store: the sweep must converge bit-identically to serial
+        and the store must verify clean -- no torn or corrupt entries
+        from the killed worker."""
+        from repro.sim.store import CachingRunner, RunStore
+
+        benign = rounds_vs_k_specs([4, 8], seeds=(0, 1, 2))
+        specs = list(benign)
+        specs.insert(
+            3,
+            _injection_spec(
+                "test_kill_once",
+                {"sentinel": str(tmp_path / "killed3")},
+                label="killer",
+            ),
+        )
+        store = RunStore(tmp_path / "store")
+        with ProcessPoolRunner(max_workers=2, store=store) as pool:
+            results = CachingRunner(pool, store).run(specs)
+        assert (tmp_path / "killed3").exists()
+        assert len(results) == len(specs)
+        serial = SerialRunner().run(benign)
+        survivors = [r for i, r in enumerate(results) if i != 3]
+        for a, b in zip(survivors, serial):
+            assert run_result_to_dict(a) == run_result_to_dict(b)
+        # Every entry the sweep left behind passes the integrity scan.
+        fresh = RunStore(tmp_path / "store")
+        report = fresh.verify()
+        assert report.clean, report.corrupt
+        assert report.checked >= len(specs)
+        # A warm rerun of the benign grid is pure hits, still identical.
+        warm = CachingRunner(SerialRunner(), fresh).run(benign)
+        assert (fresh.corrupt, fresh.misses) == (0, 0)
+        for a, b in zip(warm, serial):
+            assert run_result_to_dict(a) == run_result_to_dict(b)
+
+    def test_failure_hook_observes_fault_events(self, tmp_path):
+        events = []
+
+        def hook(kind, unit, attempt, detail):
+            events.append((kind, list(unit), attempt, detail))
+
+        spec = _injection_spec(
+            "test_fail_times",
+            {"marker": str(tmp_path / "marker"), "failures": 1},
+            label="flaky",
+        )
+        with ProcessPoolRunner(
+            max_workers=2, retries=2, retry_backoff=0.01, failure_hook=hook
+        ) as pool:
+            (result,) = pool.run([spec])
+        assert result.k == 6  # recovery unchanged by the hook
+        assert [(kind, unit) for kind, unit, _, _ in events] == [
+            ("exception", [0])
+        ]
+        assert "injected failure #1" in events[0][3]
+
     def test_pool_usable_after_worker_loss(self, tmp_path):
         killer = _injection_spec(
             "test_kill_once",

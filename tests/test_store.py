@@ -20,7 +20,12 @@ from repro.analysis.campaign import run_campaign
 from repro.analysis.experiments import rounds_vs_k_specs
 from repro.sim.runner import ProcessPoolRunner, SerialRunner
 from repro.sim.spec import make_spec, spec_digest
-from repro.sim.store import CachingRunner, RunStore, default_cache_dir
+from repro.sim.store import (
+    CachingRunner,
+    RunStore,
+    default_cache_dir,
+    entry_checksum,
+)
 from repro.sim.traceio import run_result_to_dict
 
 
@@ -94,7 +99,7 @@ class TestRunStore:
         for spec in _grid(4):
             store.put(spec, repro.execute(spec))
         outcome = store.gc()
-        assert outcome == {"removed": 3, "kept": 4}
+        assert outcome == {"removed": 3, "kept": 4, "unlink_errors": 0}
         outcome = store.gc(max_entries=2)
         assert outcome["kept"] == 2
         assert store.clear() == 2
@@ -114,6 +119,92 @@ class TestRunStore:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "here"))
         assert default_cache_dir() == tmp_path / "here"
         assert RunStore().root == tmp_path / "here"
+
+
+class TestStoreIntegrity:
+    def test_entries_carry_a_rederivable_checksum(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _spec()
+        store.put(spec, repro.execute(spec))
+        path = store.path_for(store.digest(spec))
+        payload = json.loads(path.read_text())
+        assert payload["checksum"] == entry_checksum(
+            payload["digest"],
+            payload["salt"],
+            payload["spec"],
+            payload["result"],
+        )
+
+    def test_checksum_mismatch_is_quarantined_and_recomputed(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _spec()
+        result = repro.execute(spec)
+        store.put(spec, result)
+        path = store.path_for(store.digest(spec))
+        payload = json.loads(path.read_text())
+        # Tamper with the stored result but leave the checksum alone.
+        payload["result"]["rounds"] = payload["result"]["rounds"] + 1
+        path.write_text(json.dumps(payload, sort_keys=True))
+        assert store.get(spec) is None  # never serves the wrong bits
+        assert store.corrupt == 1
+        assert not path.exists()
+        assert (store.quarantine_dir / path.name).exists()
+        # Recompute-and-put repairs the store; the repaired read is a hit.
+        store.put(spec, repro.execute(spec))
+        assert store.get(spec) == result
+
+    def test_verify_clean_store(self, tmp_path):
+        store = RunStore(tmp_path)
+        for spec in _grid(3):
+            store.put(spec, repro.execute(spec))
+        report = store.verify()
+        assert report.clean
+        assert (report.checked, report.ok) == (3, 3)
+        assert report.to_dict()["clean"] is True
+
+    def test_verify_detects_and_quarantines_corruption(self, tmp_path):
+        store = RunStore(tmp_path)
+        specs = _grid(4)
+        for spec in specs:
+            store.put(spec, repro.execute(spec))
+        bad = store.path_for(store.digest(specs[0]))
+        bad.write_bytes(bad.read_bytes()[:50])  # torn write
+        listed = store.verify()
+        assert not listed.clean
+        assert len(listed.corrupt) == 1
+        assert listed.corrupt[0]["digest"] == bad.stem
+        assert listed.quarantined == 0 and bad.exists()  # list-only
+        fixed = store.verify(quarantine=True)
+        assert fixed.quarantined == 1
+        assert not bad.exists()
+        assert (store.quarantine_dir / bad.name).exists()
+        assert store.verify().clean
+
+    def test_verify_catches_relocated_entry(self, tmp_path):
+        # A checksum-valid payload parked under the wrong address must
+        # fail the digest/address cross-check.
+        store = RunStore(tmp_path)
+        spec = _spec()
+        store.put(spec, repro.execute(spec))
+        path = store.path_for(store.digest(spec))
+        fake = "0" * 64
+        target = path.parent.parent / fake[:2] / f"{fake}.json"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        path.rename(target)
+        report = store.verify()
+        assert not report.clean
+        assert "address" in report.corrupt[0]["reason"]
+
+    def test_stats_report_corrupt_entries(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _spec()
+        store.put(spec, repro.execute(spec))
+        store.path_for(store.digest(spec)).write_text("{not json")
+        assert store.get(spec) is None
+        stats = store.stats()
+        assert stats.corrupt_entries == 1
+        assert stats.to_dict()["corrupt_entries"] == 1
+        assert "1 corrupt" in stats.render()
 
 
 class TestCachingRunner:
