@@ -28,7 +28,12 @@ from repro.chaos.failures import (
     ChaosEngineFault,
     ChaosTransientError,
     FAILURE_KINDS,
+    FAILURE_STREAM_FORMAT_VERSION,
+    FAILURE_STREAM_KIND,
     FailureRecord,
+    diff_failure_streams,
+    load_failure_stream,
+    render_failure_stream,
 )
 from repro.chaos.plan import (
     ENGINE_PHASES,
@@ -54,6 +59,8 @@ __all__ = [
     "ENGINE_PHASES",
     "EngineFault",
     "FAILURE_KINDS",
+    "FAILURE_STREAM_FORMAT_VERSION",
+    "FAILURE_STREAM_KIND",
     "FailureRecord",
     "FaultPlan",
     "FaultyStore",
@@ -65,6 +72,9 @@ __all__ = [
     "STORE_FAULT_KINDS",
     "StoreFault",
     "corrupt_entry_file",
+    "diff_failure_streams",
+    "load_failure_stream",
     "plan_digest",
+    "render_failure_stream",
     "replay_plan",
 ]

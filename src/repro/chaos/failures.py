@@ -22,8 +22,9 @@ bit-for-bit across replays -- the golden-test property of
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 #: Every failure kind a record may carry, by injection layer.
 FAILURE_KINDS: Tuple[str, ...] = (
@@ -33,6 +34,9 @@ FAILURE_KINDS: Tuple[str, ...] = (
     "transient",
     "engine",
 )
+
+FAILURE_STREAM_KIND = "chaos_failure_stream"
+FAILURE_STREAM_FORMAT_VERSION = 1
 
 
 class ChaosTransientError(RuntimeError):
@@ -81,3 +85,81 @@ class FailureRecord:
             kind=str(data["kind"]),
             detail=str(data["detail"]),
         )
+
+
+def render_failure_stream(
+    plan_digest: str, failures: Sequence[FailureRecord]
+) -> str:
+    """The golden on-disk form of a replay's canonical failure stream.
+
+    Since a seeded plan reproduces its failure stream bit-for-bit, the
+    stream itself is goldenable: CI serializes the replay's records and
+    compares them against the checked-in snapshot, so a silent change in
+    fault *handling* (a lost retry, a reclassified kind, an extra
+    tolerated crash) fails the build even when results still converge.
+    """
+    document = {
+        "kind": FAILURE_STREAM_KIND,
+        "format_version": FAILURE_STREAM_FORMAT_VERSION,
+        "plan_digest": plan_digest,
+        "failures": [record.to_dict() for record in sorted(failures)],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def load_failure_stream(text: str) -> Tuple[str, List[FailureRecord]]:
+    """``(plan_digest, records)`` from a golden stream document."""
+    try:
+        data = json.loads(text)
+    except ValueError as error:
+        raise ValueError(
+            f"failure stream does not parse as JSON: {error}"
+        ) from error
+    if not isinstance(data, dict) or data.get("kind") != FAILURE_STREAM_KIND:
+        raise ValueError(
+            f"not a {FAILURE_STREAM_KIND} document: {data.get('kind')!r}"
+            if isinstance(data, dict)
+            else "failure stream document must be a JSON object"
+        )
+    version = data.get("format_version")
+    if version != FAILURE_STREAM_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported failure stream format_version {version}; this "
+            f"library reads version {FAILURE_STREAM_FORMAT_VERSION}"
+        )
+    records = [
+        FailureRecord.from_dict(item) for item in data.get("failures", [])
+    ]
+    return str(data.get("plan_digest", "")), sorted(records)
+
+
+def diff_failure_streams(
+    actual: Sequence[FailureRecord],
+    golden: Sequence[FailureRecord],
+) -> List[str]:
+    """Human-readable differences, one line each (empty when identical).
+
+    Uses multiset semantics: the same record observed a different number
+    of times is a difference.
+    """
+
+    def counted(records: Sequence[FailureRecord]) -> Dict[FailureRecord, int]:
+        counts: Dict[FailureRecord, int] = {}
+        for record in records:
+            counts[record] = counts.get(record, 0) + 1
+        return counts
+
+    actual_counts = counted(actual)
+    golden_counts = counted(golden)
+    lines: List[str] = []
+    for record in sorted(set(actual_counts) | set(golden_counts)):
+        have = actual_counts.get(record, 0)
+        want = golden_counts.get(record, 0)
+        if have == want:
+            continue
+        lines.append(
+            f"{'+ unexpected' if have > want else '- missing'} "
+            f"(x{abs(have - want)}): unit {record.unit} attempt "
+            f"{record.attempt} [{record.kind}] {record.detail}"
+        )
+    return lines

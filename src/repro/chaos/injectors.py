@@ -58,6 +58,16 @@ def hang(seconds: float) -> None:
     time.sleep(seconds)
 
 
+def inject_latency(seconds: float) -> None:
+    """Delay the unit *without* failing it (the ``slow`` fault).
+
+    Unlike :func:`hang` the delay is meant to stay under the pool's
+    per-unit timeout: the unit still completes, which is exactly the
+    point -- results must be bit-identical with or without the latency.
+    """
+    time.sleep(seconds)
+
+
 def raise_transient(detail: str) -> None:
     """Raise the retriable injected failure with a deterministic detail."""
     raise ChaosTransientError(detail)

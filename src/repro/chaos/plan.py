@@ -16,7 +16,9 @@ Faults come in three layers, mirroring the execution stack:
   replay reads back.
 * :class:`RunnerFault` -- makes a dispatched work unit misbehave:
   ``crash`` SIGKILLs the worker mid-unit, ``hang`` stalls it past the
-  pool timeout, ``transient`` raises a retriable exception.
+  pool timeout, ``transient`` raises a retriable exception, ``slow``
+  injects latency without failing (the unit still completes and must
+  still produce bit-identical results).
   ``unit_index`` counts work units globally across every
   ``run()`` call the chaos runner serves, so a fault addresses "the Nth
   unit of the campaign".
@@ -49,7 +51,7 @@ STORE_FAULT_KINDS: Tuple[str, ...] = (
 )
 
 #: Ways a dispatched work unit can misbehave.
-RUNNER_FAULT_KINDS: Tuple[str, ...] = ("crash", "hang", "transient")
+RUNNER_FAULT_KINDS: Tuple[str, ...] = ("crash", "hang", "transient", "slow")
 
 #: The engine phase hooks an :class:`EngineFault` may target, in firing
 #: order (see :class:`repro.sim.hooks.EngineObserver`).
@@ -100,7 +102,9 @@ class RunnerFault:
 
     ``times`` bounds how often the fault fires (a re-dispatched unit
     would otherwise crash forever); ``seconds`` is the stall length of a
-    ``hang`` fault and must exceed the chaos pool's timeout to matter.
+    ``hang`` fault (must exceed the chaos pool's timeout to matter) or
+    the injected latency of a ``slow`` fault (must stay *under* the
+    timeout, or it degenerates into a hang).
     """
 
     kind: str

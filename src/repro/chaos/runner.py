@@ -34,7 +34,13 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.chaos.engine_faults import PhaseFaultObserver
 from repro.chaos.failures import FailureRecord
-from repro.chaos.injectors import claim, hang, kill_current_process, raise_transient
+from repro.chaos.injectors import (
+    claim,
+    hang,
+    inject_latency,
+    kill_current_process,
+    raise_transient,
+)
 from repro.chaos.plan import FaultPlan
 from repro.sim.metrics import RunResult
 from repro.sim.runner import ProcessPoolRunner
@@ -62,6 +68,10 @@ def _chaos_run_unit(
                 kill_current_process()
             elif kind == "hang":
                 hang(float(fault["seconds"]))
+            elif kind == "slow":
+                # Latency only: the unit proceeds to execute normally
+                # below, and its results must be bit-identical.
+                inject_latency(float(fault["seconds"]))
             else:
                 raise_transient(
                     f"injected transient failure ({fault['key']})"

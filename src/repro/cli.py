@@ -316,6 +316,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             max_entries=args.max_entries,
             max_bytes=args.max_bytes,
             drop_stale=not args.keep_stale,
+            purge_quarantine_days=args.purge_quarantine,
         )
         line = (
             f"gc: removed {outcome['removed']} entries, "
@@ -323,6 +324,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         )
         if outcome["unlink_errors"]:
             line += f", {outcome['unlink_errors']} unlink errors"
+        if args.purge_quarantine is not None:
+            line += (
+                f", purged {outcome['quarantine_purged']} quarantined"
+            )
         print(f"{line} ({store.root})")
     elif args.cache_command == "verify":
         report = store.verify(quarantine=args.fix)
@@ -374,7 +379,50 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json}")
-    return 0 if report.ok else 1
+    golden_ok = True
+    if args.golden_failures:
+        from repro.chaos import (
+            diff_failure_streams,
+            load_failure_stream,
+            render_failure_stream,
+        )
+
+        if args.update_golden:
+            with open(args.golden_failures, "w", encoding="utf-8") as handle:
+                handle.write(
+                    render_failure_stream(report.plan_digest, report.failures)
+                )
+            print(f"wrote golden failure stream {args.golden_failures}")
+        else:
+            try:
+                with open(args.golden_failures, encoding="utf-8") as handle:
+                    golden_digest, golden = load_failure_stream(handle.read())
+            except (OSError, ValueError) as error:
+                print(
+                    f"error: cannot read golden failure stream: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+            diff = diff_failure_streams(report.failures, golden)
+            if golden_digest != report.plan_digest:
+                diff.insert(
+                    0,
+                    f"plan digest mismatch: replayed {report.plan_digest}, "
+                    f"golden stream was recorded for {golden_digest}",
+                )
+            if diff:
+                golden_ok = False
+                print(
+                    f"failure stream drift vs {args.golden_failures}:"
+                )
+                for line in diff:
+                    print(f"  {line}")
+            else:
+                print(
+                    f"failure stream matches {args.golden_failures} "
+                    f"({len(report.failures)} records)"
+                )
+    return 0 if report.ok and golden_ok else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -480,6 +528,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-stale", action="store_true",
         help="keep entries written under older code-version salts",
     )
+    p_cache_gc.add_argument(
+        "--purge-quarantine", type=float, default=None, metavar="DAYS",
+        help="also delete quarantined entries at least DAYS days old "
+        "(0 purges all)",
+    )
     p_cache_verify = cache_sub.add_parser(
         "verify",
         help="checksum every entry; exit 1 if any corruption is found",
@@ -532,6 +585,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write the machine-readable chaos report",
+    )
+    p_chaos.add_argument(
+        "--golden-failures", default=None, metavar="PATH",
+        help="compare the replay's canonical failure stream against "
+        "this golden snapshot; exit 1 on drift",
+    )
+    p_chaos.add_argument(
+        "--update-golden", action="store_true",
+        help="with --golden-failures: (re)write the snapshot instead "
+        "of comparing",
     )
     p_chaos.set_defaults(func=_cmd_chaos)
 

@@ -19,14 +19,18 @@ from repro.lint.reporters import (
     render_text,
 )
 
+#: Default scan roots per mode; deep analysis wants the package tree.
+SHALLOW_DEFAULT_PATHS = ["src", "tests", "benchmarks"]
+
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the lint options to ``parser`` (shared with ``repro lint``)."""
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src", "tests", "benchmarks"],
-        help="files or directories to lint (default: src tests benchmarks)",
+        default=None,
+        help="files or directories to lint (default: src tests "
+        "benchmarks; with --deep: src)",
     )
     parser.add_argument(
         "--json",
@@ -45,6 +49,57 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="run the whole-program analysis (call-graph taint "
+        "propagation + fork-safety) against the accepted baseline",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline snapshot for --deep "
+        "(default: lint-deep-baseline.json)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="with --deep: accept the tree's current findings as the "
+        "new baseline and exit 0",
+    )
+
+
+def _run_deep(args: argparse.Namespace) -> int:
+    from repro.lint.deep import (
+        DEEP_DEFAULT_PATHS,
+        DEFAULT_BASELINE_PATH,
+        BaselineError,
+        render_deep_summary,
+        run_deep_analysis,
+    )
+
+    paths = args.paths if args.paths else list(DEEP_DEFAULT_PATHS)
+    baseline = (
+        args.baseline if args.baseline is not None else DEFAULT_BASELINE_PATH
+    )
+    try:
+        result = run_deep_analysis(
+            paths,
+            baseline_path=baseline,
+            update_baseline=args.update_baseline,
+        )
+    except (FileNotFoundError, BaselineError) as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(render_json(result.report))
+    else:
+        print(render_text(result.report))
+        print(render_deep_summary(result))
+    # After --update-baseline only P001 parse errors (never baselined)
+    # can remain in the report, so the exit code is honest either way.
+    return 0 if result.report.ok else 1
 
 
 def run_from_args(args: argparse.Namespace) -> int:
@@ -52,13 +107,29 @@ def run_from_args(args: argparse.Namespace) -> int:
     if args.list_rules:
         print(render_rule_catalogue())
         return 0
+    if args.deep and args.select:
+        print(
+            "repro lint: --select does not apply to --deep "
+            "(the deep pass is a single analysis)",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.deep and (args.baseline or args.update_baseline):
+        print(
+            "repro lint: --baseline/--update-baseline require --deep",
+            file=sys.stderr,
+        )
+        return 2
+    if args.deep:
+        return _run_deep(args)
     select = (
         [s for s in args.select.split(",") if s.strip()]
         if args.select
         else None
     )
+    paths = args.paths if args.paths else SHALLOW_DEFAULT_PATHS
     try:
-        report = lint_paths(args.paths, select=select)
+        report = lint_paths(paths, select=select)
     except (FileNotFoundError, ValueError) as error:
         print(f"repro lint: {error}", file=sys.stderr)
         return 2

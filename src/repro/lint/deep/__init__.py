@@ -1,0 +1,79 @@
+"""Whole-program deep analysis (``repro lint --deep``).
+
+Layers, bottom to top:
+
+* :mod:`~repro.lint.deep.modindex` -- parse every module once, index
+  definitions, imports, aliases and registry dicts;
+* :mod:`~repro.lint.deep.callgraph` -- resolve calls (including
+  ``self.`` dispatch, re-exports and registry factories) into a
+  whole-program call graph;
+* :mod:`~repro.lint.deep.taint` -- seed nondeterminism sources and
+  trace every call chain from the deterministic core to one;
+* :mod:`~repro.lint.deep.concurrency` -- fork-safety checks on the
+  runner modules;
+* :mod:`~repro.lint.deep.baseline` -- the accepted-fingerprint snapshot
+  that turns absolute findings into a drift gate;
+* :mod:`~repro.lint.deep.analysis` -- the driver the CLI calls.
+"""
+
+from repro.lint.deep.analysis import (
+    DEEP_DEFAULT_PATHS,
+    DeepResult,
+    render_deep_summary,
+    run_deep_analysis,
+)
+from repro.lint.deep.baseline import (
+    BASELINE_FORMAT_VERSION,
+    BASELINE_KIND,
+    DEFAULT_BASELINE_PATH,
+    BaselineError,
+    diff_baseline,
+    load_baseline,
+    render_baseline,
+    write_baseline,
+)
+from repro.lint.deep.callgraph import CallGraph, CallSite, build_call_graph
+from repro.lint.deep.modindex import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    build_index,
+    module_name_for,
+)
+from repro.lint.deep.taint import (
+    CORE_PATHS,
+    Seed,
+    TaintPath,
+    collect_seeds,
+    trace_taint_paths,
+)
+
+__all__ = [
+    "BASELINE_FORMAT_VERSION",
+    "BASELINE_KIND",
+    "BaselineError",
+    "CORE_PATHS",
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "DEEP_DEFAULT_PATHS",
+    "DEFAULT_BASELINE_PATH",
+    "DeepResult",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "Seed",
+    "TaintPath",
+    "build_call_graph",
+    "build_index",
+    "collect_seeds",
+    "diff_baseline",
+    "load_baseline",
+    "module_name_for",
+    "render_baseline",
+    "render_deep_summary",
+    "run_deep_analysis",
+    "trace_taint_paths",
+    "write_baseline",
+]

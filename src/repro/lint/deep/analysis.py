@@ -1,0 +1,200 @@
+"""The deep-analysis driver behind ``repro lint --deep``.
+
+Glues the subsystem together: index the tree
+(:mod:`~repro.lint.deep.modindex`), build the call graph
+(:mod:`~repro.lint.deep.callgraph`), trace taint paths
+(:mod:`~repro.lint.deep.taint`), run the fork-safety checks
+(:mod:`~repro.lint.deep.concurrency`), then reconcile everything
+against the accepted baseline (:mod:`~repro.lint.deep.baseline`).
+
+The outcome is an ordinary :class:`~repro.lint.engine.LintReport`, so
+the existing text/JSON reporters and exit-code convention apply
+unchanged; what the report *contains* is only the drift -- new findings
+not in the baseline, plus ``B001`` entries for baseline fingerprints the
+tree no longer produces.  Parse failures surface as ``P001`` exactly
+like the shallow engine and are never baselined: an unparseable file
+can't be proven taint-free.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.lint.deep.baseline import (
+    DEFAULT_BASELINE_PATH,
+    STALE_CODE,
+    diff_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.deep.callgraph import CallGraph, build_call_graph
+from repro.lint.deep.concurrency import check_fork_safety
+from repro.lint.deep.modindex import build_index
+from repro.lint.deep.taint import TAINT_CODE, trace_taint_paths
+from repro.lint.engine import PARSE_ERROR_CODE, LintReport, _suppressions
+from repro.lint.findings import Finding
+
+#: Default scan roots for a deep run (whole-program analysis wants the
+#: package tree, not tests/benchmarks).
+DEEP_DEFAULT_PATHS: Tuple[str, ...] = ("src",)
+
+
+@dataclass
+class DeepResult:
+    """A deep run's report plus the baseline reconciliation detail."""
+
+    report: LintReport
+    #: every fingerprint the tree currently produces
+    fingerprints: Set[str] = field(default_factory=set)
+    #: fingerprints reported as new (absent from the baseline)
+    new: List[str] = field(default_factory=list)
+    #: baseline fingerprints the tree no longer produces
+    stale: List[str] = field(default_factory=list)
+    #: how many findings the baseline accepted (matched, not reported)
+    accepted: int = 0
+    baseline_path: str = DEFAULT_BASELINE_PATH
+    #: whether this run rewrote the baseline (``--update-baseline``)
+    updated: bool = False
+    call_graph: Optional[CallGraph] = None
+
+
+def _suppressed(
+    tables: Dict[str, Dict[int, FrozenSet[str]]], finding: Finding
+) -> bool:
+    table = tables.get(finding.path)
+    if table is None:
+        return False
+    codes = table.get(finding.line)
+    if codes is None:
+        return False
+    return "*" in codes or finding.code in codes
+
+
+def run_deep_analysis(
+    paths: Sequence[Union[str, pathlib.Path]] = DEEP_DEFAULT_PATHS,
+    baseline_path: Union[str, pathlib.Path] = DEFAULT_BASELINE_PATH,
+    update_baseline: bool = False,
+) -> DeepResult:
+    """Run the whole deep pass and reconcile it against the baseline.
+
+    With ``update_baseline=True`` the current fingerprints are written
+    to ``baseline_path`` and the report carries no drift findings (only
+    ``P001`` parse errors, which can never be accepted).  Otherwise a
+    missing baseline file behaves as an empty one: every fingerprint in
+    the tree is new.
+    """
+    index = build_index(paths)
+    graph = build_call_graph(index)
+    tables = {
+        module.display_path: _suppressions(module.source)
+        for module in index.modules.values()
+    }
+
+    report = LintReport(
+        files_scanned=index.files_indexed + len(index.parse_errors)
+    )
+    for display, lineno, message in index.parse_errors:
+        report.findings.append(
+            Finding(
+                path=display,
+                line=lineno,
+                column=1,
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {message}",
+            )
+        )
+
+    taint = trace_taint_paths(graph)
+    report.suppressed += taint.suppressed_seeds
+    candidates: List[Tuple[Finding, str]] = [
+        (
+            Finding(
+                path=path.root_path,
+                line=path.site.lineno,
+                column=path.site.col,
+                code=TAINT_CODE,
+                message=path.message,
+            ),
+            path.fingerprint,
+        )
+        for path in taint.paths
+    ]
+    candidates.extend(check_fork_safety(index))
+
+    fingerprints: Set[str] = set()
+    fresh: List[Tuple[Finding, str]] = []
+    for finding, fingerprint in candidates:
+        if _suppressed(tables, finding):
+            report.suppressed += 1
+            continue
+        if fingerprint in fingerprints:
+            continue  # one report per accepted-or-not identity
+        fingerprints.add(fingerprint)
+        fresh.append((finding, fingerprint))
+
+    result = DeepResult(
+        report=report,
+        fingerprints=fingerprints,
+        baseline_path=str(baseline_path),
+    )
+
+    if update_baseline:
+        write_baseline(baseline_path, fingerprints)
+        result.updated = True
+        result.accepted = len(fingerprints)
+        report.findings.sort()
+        result.call_graph = graph
+        return result
+
+    accepted: Set[str] = set()
+    if pathlib.Path(baseline_path).exists():
+        accepted = load_baseline(baseline_path)
+    new, stale = diff_baseline(fingerprints, accepted)
+    result.new = new
+    result.stale = stale
+    result.accepted = len(fingerprints & accepted)
+    new_set = set(new)
+    for finding, fingerprint in fresh:
+        if fingerprint in new_set:
+            report.findings.append(finding)
+    for fingerprint in stale:
+        report.findings.append(
+            Finding(
+                path=str(baseline_path),
+                line=1,
+                column=1,
+                code=STALE_CODE,
+                message=(
+                    f"stale baseline entry no longer produced by the "
+                    f"tree: {fingerprint}; re-run with "
+                    "--update-baseline to drop it"
+                ),
+            )
+        )
+    report.findings.sort()
+    result.call_graph = graph
+    return result
+
+
+def render_deep_summary(result: DeepResult) -> str:
+    """A drift summary for humans (appended after the standard report).
+
+    This is what makes the CI job failure readable: the added/removed
+    fingerprints, one per line, without digging through full messages.
+    """
+    lines = [
+        f"deep analysis: {len(result.fingerprints)} finding(s) in tree, "
+        f"{result.accepted} accepted by baseline {result.baseline_path}"
+    ]
+    if result.updated:
+        lines.append(f"baseline updated: {result.baseline_path}")
+        return "\n".join(lines)
+    for fingerprint in result.new:
+        lines.append(f"  + new:   {fingerprint}")
+    for fingerprint in result.stale:
+        lines.append(f"  - stale: {fingerprint}")
+    if not result.new and not result.stale:
+        lines.append("  no drift against baseline")
+    return "\n".join(lines)

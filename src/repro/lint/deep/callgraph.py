@@ -1,0 +1,588 @@
+"""Import-resolving call-graph construction over a :class:`ProjectIndex`.
+
+The graph's nodes are the indexed functions (methods, nested functions
+and lambdas included -- nested callables get an edge from their encloser,
+since defining one almost always precedes calling it in the same dynamic
+extent).  Edges are added for every call whose target the resolver can
+pin down statically:
+
+* plain names and dotted paths, through each module's import table and
+  simple aliases, including re-exports through package ``__init__``
+  modules (``from pkg.impl import helper`` makes ``pkg.helper()``
+  resolve to ``pkg.impl.helper``);
+* ``self.method()`` / ``cls.method()`` inside a class, with method
+  resolution through statically named base classes;
+* ``x.method()`` where ``x`` was assigned a constructor call of a
+  resolvable class earlier in the same function body (one-pass local
+  type inference);
+* constructor calls, which edge to the class's ``__init__`` (resolved
+  through bases);
+* **registry dispatch**: a function that registers callables into a
+  module-level dict (``_FACTORIES[name] = factory``) marks that dict as
+  a registry; every call site of the registrar -- including decorator
+  form ``@register("name")`` -- records the registered factory, and any
+  *other* function that references the dict gets edges to every
+  registered member.  This is how ``repro.sim.spec.build_graph`` (which
+  only ever calls ``_lookup(_GRAPH_FACTORIES, ...)(...)``) acquires
+  edges to each concrete graph factory.
+
+Unresolvable calls (stdlib, attribute chains on unknown objects) are
+simply absent from the graph; the taint pass catches their
+nondeterministic subset directly at the call site via seed patterns.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.lint.deep.modindex import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    _dotted,
+    _resolve_relative,
+)
+
+#: Resolution results: a concrete callable, a class, or a registry dict.
+_Resolved = Union[
+    Tuple[str, FunctionInfo], Tuple[str, ClassInfo], Tuple[str, str], None
+]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """Where an edge's first witnessed call appears in the caller."""
+
+    lineno: int
+    col: int
+
+
+@dataclass
+class CallGraph:
+    """Directed call edges between qualified function names."""
+
+    index: ProjectIndex
+    #: caller qualname -> callee qualname -> first witnessed call site
+    edges: Dict[str, Dict[str, CallSite]] = field(default_factory=dict)
+    #: registry dict qualname -> registered member qualnames
+    registries: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def add_edge(self, caller: str, callee: str, site: CallSite) -> None:
+        """Record ``caller -> callee`` (first call site wins)."""
+        self.edges.setdefault(caller, {}).setdefault(callee, site)
+
+    def callees(self, caller: str) -> Dict[str, CallSite]:
+        """Every edge out of ``caller`` (empty dict when none)."""
+        return self.edges.get(caller, {})
+
+    @property
+    def edge_count(self) -> int:
+        """Total number of resolved call edges."""
+        return sum(len(targets) for targets in self.edges.values())
+
+
+def iter_own_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk a callable's body without descending into nested callables.
+
+    Nested ``def``/``lambda`` nodes are yielded (so the caller can index
+    them as their own graph nodes) but their bodies are not traversed.
+    """
+    if isinstance(root, ast.Lambda):
+        stack: List[ast.AST] = [root.body]
+    else:
+        stack = list(getattr(root, "body", []))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _Resolver:
+    """Name resolution against a :class:`ProjectIndex`."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+
+    # -- public entry points -------------------------------------------
+
+    def resolve(self, module: ModuleInfo, dotted: str) -> _Resolved:
+        """Resolve ``dotted`` as written inside ``module``."""
+        return self._resolve_local(module, dotted, set())
+
+    def resolve_absolute(self, dotted: str) -> _Resolved:
+        """Resolve an already-absolute dotted path."""
+        return self._resolve_absolute(dotted, set())
+
+    def resolve_method(
+        self, cls: ClassInfo, name: str
+    ) -> Optional[FunctionInfo]:
+        """Look ``name`` up on ``cls``, then through its bases."""
+        return self._method(cls, name, set())
+
+    def constructor(self, cls: ClassInfo) -> Optional[FunctionInfo]:
+        """The ``__init__`` a constructor call lands in, if indexed."""
+        return self._method(cls, "__init__", set())
+
+    # -- internals -----------------------------------------------------
+
+    def _method(
+        self, cls: ClassInfo, name: str, seen: Set[str]
+    ) -> Optional[FunctionInfo]:
+        if cls.qualname in seen:
+            return None
+        seen.add(cls.qualname)
+        if name in cls.methods:
+            return cls.methods[name]
+        for base in cls.bases:
+            resolved = self._resolve_local(cls.module, base, set())
+            if (
+                resolved is not None
+                and resolved[0] == "class"
+                and isinstance(resolved[1], ClassInfo)
+            ):
+                found = self._method(resolved[1], name, seen)
+                if found is not None:
+                    return found
+        return None
+
+    def _resolve_local(
+        self, module: ModuleInfo, dotted: str, seen: Set[str]
+    ) -> _Resolved:
+        key = f"{module.name}:{dotted}"
+        if key in seen:
+            return None
+        seen.add(key)
+        parts = dotted.split(".")
+        head, rest = parts[0], parts[1:]
+        if dotted in module.functions:
+            return ("func", module.functions[dotted])
+        if head in module.classes:
+            cls = module.classes[head]
+            if not rest:
+                return ("class", cls)
+            if len(rest) == 1:
+                method = self.resolve_method(cls, rest[0])
+                if method is not None:
+                    return ("func", method)
+            return None
+        if head in module.registry_dicts and not rest:
+            return ("registry", f"{module.name}.{head}")
+        if head in module.imports:
+            return self._resolve_absolute(
+                ".".join([module.imports[head]] + rest), seen
+            )
+        if head in module.aliases:
+            return self._resolve_local(
+                module, ".".join([module.aliases[head]] + rest), seen
+            )
+        return None
+
+    def _resolve_absolute(self, dotted: str, seen: Set[str]) -> _Resolved:
+        if dotted in seen:
+            return None
+        seen.add(dotted)
+        if dotted in self.index.functions:
+            return ("func", self.index.functions[dotted])
+        if dotted in self.index.classes:
+            return ("class", self.index.classes[dotted])
+        parts = dotted.split(".")
+        # Longest module prefix wins: ``pkg.sub.mod.Class.method`` splits
+        # at ``pkg.sub.mod`` even when ``pkg.sub`` is also a module.
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            module = self.index.modules.get(prefix)
+            if module is None:
+                continue
+            rest = parts[cut:]
+            return self._resolve_in_module(module, rest, seen)
+        return None
+
+    def _resolve_in_module(
+        self, module: ModuleInfo, rest: List[str], seen: Set[str]
+    ) -> _Resolved:
+        symbol = ".".join(rest)
+        if symbol in module.functions:
+            return ("func", module.functions[symbol])
+        head = rest[0]
+        if head in module.classes:
+            cls = module.classes[head]
+            if len(rest) == 1:
+                return ("class", cls)
+            if len(rest) == 2:
+                method = self.resolve_method(cls, rest[1])
+                if method is not None:
+                    return ("func", method)
+            return None
+        if head in module.registry_dicts and len(rest) == 1:
+            return ("registry", f"{module.name}.{head}")
+        if head in module.imports:
+            # Re-exported name: follow the import out of this module.
+            return self._resolve_absolute(
+                ".".join([module.imports[head]] + rest[1:]), seen
+            )
+        if head in module.aliases:
+            return self._resolve_local(
+                module, ".".join([module.aliases[head]] + rest[1:]), seen
+            )
+        return None
+
+
+def _registrar_registries(
+    function: FunctionInfo,
+) -> Set[str]:
+    """The registry dicts ``function`` stores into (registrar detection).
+
+    A registrar is any function whose body performs
+    ``SOME_MODULE_DICT[...] = ...`` on a module-level registry-candidate
+    dict of its own module.
+    """
+    found: Set[str] = set()
+    module = function.module
+    for node in iter_own_nodes(function.node):
+        if not isinstance(node, (ast.Assign, ast.AugAssign)):
+            continue
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in module.registry_dicts
+            ):
+                found.add(f"{module.name}.{target.value.id}")
+    return found
+
+
+@dataclass
+class _Scope:
+    """What one function body's names can see beyond module scope."""
+
+    #: nested def name -> its call-graph node
+    defs: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: local variable -> inferred class (``x = ClassName(...)``)
+    types: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: function-level import alias -> absolute dotted target
+    imports: Dict[str, str] = field(default_factory=dict)
+
+
+def _collect_local_imports(
+    module: ModuleInfo, node: ast.AST, imports: Dict[str, str]
+) -> None:
+    """Record a function-level import statement into ``imports``.
+
+    The deferred-import idiom (``from repro.analysis.figures import
+    build_fig3_instance`` inside a factory) is exactly how the digest
+    path reaches other packages, so these edges are load-bearing.
+    """
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.asname is not None:
+                imports[alias.asname] = alias.name
+            else:
+                root = alias.name.split(".", 1)[0]
+                imports[root] = root
+    elif isinstance(node, ast.ImportFrom):
+        base = _resolve_relative(module.package, node.level, node.module)
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            imports[local] = f"{base}.{alias.name}" if base else alias.name
+
+
+class _GraphBuilder:
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.resolver = _Resolver(index)
+        self.graph = CallGraph(index=index)
+        #: registrar qualname -> registry dict qualnames it writes
+        self.registrars: Dict[str, Set[str]] = {}
+        #: nested-callable qualname -> imports of its enclosing scope
+        self.inherited_imports: Dict[str, Dict[str, str]] = {}
+
+    def build(self) -> CallGraph:
+        for function in list(self.index.functions.values()):
+            registries = _registrar_registries(function)
+            if registries:
+                self.registrars[function.qualname] = registries
+        # Walk a snapshot: lambdas/nested defs discovered mid-walk append
+        # themselves to the index and queue for their own walk.
+        queue = list(self.index.functions.values())
+        walked: Set[str] = set()
+        while queue:
+            function = queue.pop(0)
+            if function.qualname in walked:
+                continue
+            walked.add(function.qualname)
+            queue.extend(self._walk_function(function))
+        self._apply_registry_dispatch()
+        return self.graph
+
+    # -- per-function walk ---------------------------------------------
+
+    def _walk_function(self, function: FunctionInfo) -> List[FunctionInfo]:
+        module = function.module
+        discovered: List[FunctionInfo] = []
+        scope = _Scope(
+            imports=dict(self.inherited_imports.pop(function.qualname, {}))
+        )
+        own_class = (
+            module.classes.get(function.class_name)
+            if function.class_name is not None
+            else None
+        )
+        nodes = list(iter_own_nodes(function.node))
+        # Imports and nested defs first, so the later call pass resolves
+        # local names regardless of traversal order.
+        for node in nodes:
+            _collect_local_imports(module, node, scope.imports)
+        for node in nodes:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested = self._nested(function, node, scope)
+                scope.defs[node.name] = nested
+                discovered.append(nested)
+            elif isinstance(node, ast.Lambda):
+                discovered.append(self._nested(function, node, scope))
+        # Type inference before call handling: node order is traversal
+        # order, not source order, so a method call can surface before
+        # the assignment that names its receiver.
+        for node in nodes:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and isinstance(
+                    node.value, ast.Call
+                ):
+                    resolved = self._resolve_call_target(
+                        module, node.value.func, scope, own_class
+                    )
+                    if resolved is not None and resolved[0] == "class":
+                        assert isinstance(resolved[1], ClassInfo)
+                        scope.types[target.id] = resolved[1]
+        for node in nodes:
+            if isinstance(node, ast.Call):
+                self._handle_call(function, node, scope, own_class)
+        self._handle_decorators(function, scope)
+        return discovered
+
+    def _nested(
+        self,
+        parent: FunctionInfo,
+        node: ast.AST,
+        scope: Optional["_Scope"] = None,
+    ) -> FunctionInfo:
+        if isinstance(node, ast.Lambda):
+            local = f"<lambda@{node.lineno}>"
+        else:
+            local = getattr(node, "name", "<def>")
+        qualname = f"{parent.qualname}.{local}"
+        nested = FunctionInfo(
+            qualname=qualname,
+            module=parent.module,
+            node=node,
+            lineno=getattr(node, "lineno", parent.lineno),
+            class_name=parent.class_name,
+        )
+        self.index.functions.setdefault(qualname, nested)
+        if scope is not None and scope.imports:
+            # Closures see the enclosing function's imports.
+            self.inherited_imports.setdefault(qualname, scope.imports)
+        # Defining a nested callable nearly always precedes invoking it
+        # within the same dynamic extent; over-approximate with an edge.
+        self.graph.add_edge(
+            parent.qualname,
+            qualname,
+            CallSite(nested.lineno, getattr(node, "col_offset", 0) + 1),
+        )
+        return self.index.functions[qualname]
+
+    # -- call handling -------------------------------------------------
+
+    def _resolve_call_target(
+        self,
+        module: ModuleInfo,
+        func_expr: ast.AST,
+        scope: "_Scope",
+        own_class: Optional[ClassInfo],
+    ) -> _Resolved:
+        if isinstance(func_expr, ast.Name) and func_expr.id in scope.defs:
+            return ("func", scope.defs[func_expr.id])
+        if isinstance(func_expr, ast.Attribute) and isinstance(
+            func_expr.value, ast.Name
+        ):
+            root = func_expr.value.id
+            if root in ("self", "cls") and own_class is not None:
+                method = self.resolver.resolve_method(
+                    own_class, func_expr.attr
+                )
+                if method is not None:
+                    return ("func", method)
+                return None
+            if root in scope.types:
+                method = self.resolver.resolve_method(
+                    scope.types[root], func_expr.attr
+                )
+                if method is not None:
+                    return ("func", method)
+                return None
+        dotted = _dotted(func_expr)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        if parts[0] in scope.imports:
+            resolved = self.resolver.resolve_absolute(
+                ".".join([scope.imports[parts[0]]] + parts[1:])
+            )
+            if resolved is not None:
+                return resolved
+        return self.resolver.resolve(module, dotted)
+
+    def _handle_call(
+        self,
+        function: FunctionInfo,
+        node: ast.Call,
+        scope: "_Scope",
+        own_class: Optional[ClassInfo],
+    ) -> None:
+        site = CallSite(node.lineno, node.col_offset + 1)
+        resolved = self._resolve_call_target(
+            function.module, node.func, scope, own_class
+        )
+        # ``register(name)(fn)``: the outer call's func is itself a call
+        # to a registrar; the outer argument is the registered factory.
+        if isinstance(node.func, ast.Call):
+            inner = self._resolve_call_target(
+                function.module, node.func.func, scope, own_class
+            )
+            self._maybe_register(function, inner, node, scope)
+        if resolved is None:
+            return
+        kind, target = resolved
+        if kind == "func":
+            assert isinstance(target, FunctionInfo)
+            self.graph.add_edge(function.qualname, target.qualname, site)
+            self._maybe_register(function, resolved, node, scope)
+        elif kind == "class":
+            assert isinstance(target, ClassInfo)
+            init = self.resolver.constructor(target)
+            if init is not None:
+                self.graph.add_edge(function.qualname, init.qualname, site)
+
+    def _handle_decorators(
+        self, function: FunctionInfo, scope: "_Scope"
+    ) -> None:
+        """``@register("name")`` on a def registers the def itself."""
+        for decorator in getattr(function.node, "decorator_list", []):
+            if not isinstance(decorator, ast.Call):
+                continue
+            resolved = self._resolve_call_target(
+                function.module, decorator.func, _Scope(), None
+            )
+            if resolved is None or resolved[0] != "func":
+                continue
+            assert isinstance(resolved[1], FunctionInfo)
+            for registry in self.registrars.get(resolved[1].qualname, ()):
+                self.graph.registries.setdefault(registry, set()).add(
+                    function.qualname
+                )
+
+    def _maybe_register(
+        self,
+        function: FunctionInfo,
+        registrar: _Resolved,
+        call: ast.Call,
+        scope: "_Scope",
+    ) -> None:
+        """If ``call`` invokes a registrar, record its callable args."""
+        if registrar is None or registrar[0] != "func":
+            return
+        assert isinstance(registrar[1], FunctionInfo)
+        registries = self.registrars.get(registrar[1].qualname)
+        if not registries:
+            return
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            member = self._callable_qualname(function, arg, scope)
+            if member is None:
+                continue
+            for registry in registries:
+                self.graph.registries.setdefault(registry, set()).add(
+                    member
+                )
+
+    def _callable_qualname(
+        self,
+        function: FunctionInfo,
+        node: ast.AST,
+        scope: "_Scope",
+    ) -> Optional[str]:
+        if isinstance(node, ast.Lambda):
+            return self._nested(function, node, scope).qualname
+        resolved = self._resolve_call_target(
+            function.module, node, scope, None
+        )
+        if resolved is None:
+            return None
+        if resolved[0] == "func":
+            assert isinstance(resolved[1], FunctionInfo)
+            return resolved[1].qualname
+        if resolved[0] == "class":
+            assert isinstance(resolved[1], ClassInfo)
+            init = self.resolver.constructor(resolved[1])
+            return init.qualname if init is not None else None
+        return None
+
+    # -- registry dispatch ---------------------------------------------
+
+    def _apply_registry_dispatch(self) -> None:
+        """Edge every registry *reader* to every registered member."""
+        for function in list(self.index.functions.values()):
+            own = self.registrars.get(function.qualname, set())
+            for registry, site in self._registry_references(function):
+                if registry in own:
+                    continue  # the registrar's own store, not a dispatch
+                for member in sorted(
+                    self.graph.registries.get(registry, set())
+                ):
+                    self.graph.add_edge(function.qualname, member, site)
+
+    def _registry_references(
+        self, function: FunctionInfo
+    ) -> List[Tuple[str, CallSite]]:
+        module = function.module
+        found: Dict[str, CallSite] = {}
+        for node in iter_own_nodes(function.node):
+            registry: Optional[str] = None
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in module.registry_dicts
+            ):
+                registry = f"{module.name}.{node.id}"
+            elif isinstance(node, ast.Attribute):
+                dotted = _dotted(node)
+                if dotted is not None:
+                    resolved = self.resolver.resolve(module, dotted)
+                    if resolved is not None and resolved[0] == "registry":
+                        assert isinstance(resolved[1], str)
+                        registry = resolved[1]
+            if registry is not None:
+                found.setdefault(
+                    registry,
+                    CallSite(
+                        getattr(node, "lineno", function.lineno),
+                        getattr(node, "col_offset", 0) + 1,
+                    ),
+                )
+        return sorted(found.items())
+
+
+def build_call_graph(index: ProjectIndex) -> CallGraph:
+    """Build the whole-program call graph over ``index``."""
+    return _GraphBuilder(index).build()

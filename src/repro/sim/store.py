@@ -127,6 +127,8 @@ class StoreStats:
     writes: int
     root: str
     corrupt_entries: int = 0
+    quarantine_entries: int = 0
+    quarantine_bytes: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """Machine-readable form (what ``cache stats --json`` emits)."""
@@ -139,6 +141,8 @@ class StoreStats:
             "misses": self.misses,
             "writes": self.writes,
             "corrupt_entries": self.corrupt_entries,
+            "quarantine_entries": self.quarantine_entries,
+            "quarantine_bytes": self.quarantine_bytes,
         }
 
     def render(self) -> str:
@@ -146,6 +150,8 @@ class StoreStats:
         return (
             f"store {self.root}\n"
             f"  entries {self.entries}, {self.size_bytes} bytes\n"
+            f"  quarantine: {self.quarantine_entries} entries, "
+            f"{self.quarantine_bytes} bytes\n"
             f"  session: {self.hits} hits, {self.misses} misses, "
             f"{self.writes} writes, {self.corrupt_entries} corrupt"
         )
@@ -159,6 +165,8 @@ class VerifyReport:
     ok: int = 0
     corrupt: List[Dict[str, str]] = field(default_factory=list)
     quarantined: int = 0
+    quarantine_entries: int = 0
+    quarantine_bytes: int = 0
 
     @property
     def clean(self) -> bool:
@@ -173,6 +181,8 @@ class VerifyReport:
             "ok": self.ok,
             "corrupt": list(self.corrupt),
             "quarantined": self.quarantined,
+            "quarantine_entries": self.quarantine_entries,
+            "quarantine_bytes": self.quarantine_bytes,
             "clean": self.clean,
         }
 
@@ -180,7 +190,9 @@ class VerifyReport:
         """A summary line plus one line per corrupt entry."""
         lines = [
             f"verify: {self.checked} entries checked, {self.ok} ok, "
-            f"{len(self.corrupt)} corrupt, {self.quarantined} quarantined"
+            f"{len(self.corrupt)} corrupt, {self.quarantined} quarantined; "
+            f"quarantine holds {self.quarantine_entries} entries, "
+            f"{self.quarantine_bytes} bytes"
         ]
         for item in self.corrupt:
             lines.append(
@@ -398,6 +410,45 @@ class RunStore:
                 path=path,
             )
 
+    def quarantine_usage(self) -> Dict[str, int]:
+        """Entry count and total bytes currently held in quarantine."""
+        entries = 0
+        size = 0
+        if self.quarantine_dir.is_dir():
+            for path in sorted(self.quarantine_dir.glob("*.json")):
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return {"entries": entries, "bytes": size}
+
+    def purge_quarantine(self, *, older_than_days: float = 0.0) -> int:
+        """Delete quarantined entries older than ``older_than_days``.
+
+        Quarantined files exist only as diagnostic evidence; once old
+        enough to be uninteresting they are reclaimable.  ``0`` purges
+        everything.  Returns the number of files removed.
+        """
+        if older_than_days < 0:
+            raise ValueError(
+                f"older_than_days must be >= 0, got {older_than_days}"
+            )
+        if not self.quarantine_dir.is_dir():
+            return 0
+        # Age is judged against the wall clock on purpose: quarantine
+        # timestamps are filesystem provenance, never digest inputs.
+        cutoff = time.time() - older_than_days * 86400.0  # reprolint: disable=D001
+        removed = 0
+        for path in sorted(self.quarantine_dir.glob("*.json")):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
+
     def invalidate(self, spec: RunSpec) -> bool:
         """Drop ``spec``'s entry; returns whether one existed."""
         path = self.path_for(self.digest(spec))
@@ -424,6 +475,7 @@ class RunStore:
         max_entries: Optional[int] = None,
         max_bytes: Optional[int] = None,
         drop_stale: bool = True,
+        purge_quarantine_days: Optional[float] = None,
     ) -> Dict[str, int]:
         """Reclaim disk space; returns removed/kept/unlink-error counts.
 
@@ -434,7 +486,15 @@ class RunStore:
         failed with ``OSError`` (the entry is left in place and still
         counted as kept) -- surfaced rather than swallowed, so a
         permission problem in a shared cache is visible.
+        ``purge_quarantine_days`` additionally deletes quarantined
+        entries at least that many days old (``0`` purges all), counted
+        separately under ``quarantine_purged``.
         """
+        quarantine_purged = 0
+        if purge_quarantine_days is not None:
+            quarantine_purged = self.purge_quarantine(
+                older_than_days=purge_quarantine_days
+            )
         live: List[StoreEntry] = []
         removed = 0
         unlink_errors = 0
@@ -470,6 +530,7 @@ class RunStore:
             "removed": removed,
             "kept": len(live) + len(stuck),
             "unlink_errors": unlink_errors,
+            "quarantine_purged": quarantine_purged,
         }
 
     def stats(self) -> StoreStats:
@@ -479,6 +540,7 @@ class RunStore:
         for entry in self.entries():
             entries += 1
             size += entry.size_bytes
+        quarantine = self.quarantine_usage()
         return StoreStats(
             entries=entries,
             size_bytes=size,
@@ -487,6 +549,8 @@ class RunStore:
             writes=self.writes,
             root=str(self.root),
             corrupt_entries=self.corrupt,
+            quarantine_entries=quarantine["entries"],
+            quarantine_bytes=quarantine["bytes"],
         )
 
     # ------------------------------------------------------------------
@@ -530,19 +594,23 @@ class RunStore:
         report lists each corrupt entry with its reason either way.
         """
         report = VerifyReport()
-        if not self._objects.is_dir():
-            return report
-        for path in sorted(self._objects.glob("*/*.json")):
-            report.checked += 1
-            reason = self._verify_entry(path)
-            if reason is None:
-                report.ok += 1
-                continue
-            report.corrupt.append(
-                {"digest": path.stem, "path": str(path), "reason": reason}
-            )
-            if quarantine and self._quarantine(path):
-                report.quarantined += 1
+        if self._objects.is_dir():
+            for path in sorted(self._objects.glob("*/*.json")):
+                report.checked += 1
+                reason = self._verify_entry(path)
+                if reason is None:
+                    report.ok += 1
+                    continue
+                report.corrupt.append(
+                    {"digest": path.stem, "path": str(path), "reason": reason}
+                )
+                if quarantine and self._quarantine(path):
+                    report.quarantined += 1
+        # Snapshot quarantine usage after the scan, so entries this very
+        # call moved aside are included in the reported holdings.
+        usage = self.quarantine_usage()
+        report.quarantine_entries = usage["entries"]
+        report.quarantine_bytes = usage["bytes"]
         return report
 
 

@@ -78,6 +78,13 @@ PUBLIC_MODULES = [
     "repro.lint",
     "repro.lint.cachesafety",
     "repro.lint.cli",
+    "repro.lint.deep",
+    "repro.lint.deep.analysis",
+    "repro.lint.deep.baseline",
+    "repro.lint.deep.callgraph",
+    "repro.lint.deep.concurrency",
+    "repro.lint.deep.modindex",
+    "repro.lint.deep.taint",
     "repro.lint.determinism",
     "repro.lint.engine",
     "repro.lint.findings",

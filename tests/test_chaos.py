@@ -26,7 +26,10 @@ from repro.chaos import (
     PlanError,
     RunnerFault,
     StoreFault,
+    diff_failure_streams,
+    load_failure_stream,
     plan_digest,
+    render_failure_stream,
     replay_plan,
 )
 from repro.sim.runner import SerialRunner
@@ -304,3 +307,73 @@ class TestCampaignFailureReporting:
         report = run_campaign("quick")
         assert report.failures == []
         assert report.to_dict()["failures"] == []
+
+
+class TestSlowFault:
+    def test_latency_is_invisible_in_results_and_stream(self, tmp_path):
+        """A ``slow`` fault delays a unit under the pool timeout: the
+        unit completes, results stay bit-identical with a fault-free
+        serial pass, and nothing enters the failure stream."""
+        specs = _grid(4)
+        plan = FaultPlan(
+            seed=1, runner=(RunnerFault("slow", unit_index=1, seconds=0.2),)
+        )
+        with ChaosPoolRunner(plan, tmp_path / "claims", max_workers=2) as pool:
+            results = pool.run(specs)
+        serial = SerialRunner().run(specs)
+        assert [run_result_to_dict(r) for r in results] == [
+            run_result_to_dict(r) for r in serial
+        ]
+        assert pool.failure_records == []
+
+    def test_slow_kind_is_a_valid_plan_entry(self):
+        plan = FaultPlan(
+            runner=(RunnerFault("slow", unit_index=0, seconds=0.1),)
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+class TestFailureStreamGolden:
+    RECORDS = [
+        FailureRecord(unit=3, attempt=0, kind="crash", detail="lost"),
+        FailureRecord(unit=1, attempt=1, kind="transient", detail="retried"),
+    ]
+
+    def test_render_load_round_trip_is_canonical(self):
+        text = render_failure_stream("abc123", self.RECORDS)
+        digest, loaded = load_failure_stream(text)
+        assert digest == "abc123"
+        assert loaded == sorted(self.RECORDS)
+        # re-rendering the loaded stream reproduces the exact bytes
+        assert render_failure_stream("abc123", loaded) == text
+
+    def test_diff_uses_multiset_semantics(self):
+        base = [self.RECORDS[1]]
+        assert diff_failure_streams(base, base) == []
+        assert diff_failure_streams(base + base, base) == [
+            "+ unexpected (x1): unit 1 attempt 1 [transient] retried"
+        ]
+        assert diff_failure_streams([], base) == [
+            "- missing (x1): unit 1 attempt 1 [transient] retried"
+        ]
+
+    def test_load_rejects_foreign_documents(self):
+        with pytest.raises(ValueError, match="chaos_failure_stream"):
+            load_failure_stream('{"kind": "something_else"}')
+        with pytest.raises(ValueError, match="JSON"):
+            load_failure_stream("{not json")
+
+    def test_committed_golden_matches_the_example_plan(self):
+        """The checked-in snapshot must stay addressed to the checked-in
+        plan; CI replays the plan and diffs the streams."""
+        import pathlib
+
+        repo = pathlib.Path(__file__).resolve().parent.parent
+        plan = FaultPlan.from_json(
+            (repo / "examples" / "chaos_plan.json").read_text()
+        )
+        digest, records = load_failure_stream(
+            (repo / "examples" / "chaos_failures.golden.json").read_text()
+        )
+        assert digest == plan_digest(plan)
+        assert len(records) == plan.fault_count

@@ -193,3 +193,74 @@ class TestChaosCommand:
         assert main(["chaos", "--plan", str(bad)]) == 2
         err = capsys.readouterr().err
         assert "cannot read" in err and "invalid fault plan" in err
+
+
+class TestCacheGcPurgeQuarantine:
+    def test_purge_flag_reports_purged_count(self, tmp_path, capsys):
+        store, specs = _seed_store(tmp_path)
+        victim = store.path_for(store.digest(specs[0]))
+        victim.write_text("{not json")
+        assert store.get(specs[0]) is None  # read path quarantines it
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+        assert "quarantined" not in capsys.readouterr().out
+        assert store.quarantine_usage()["entries"] == 1
+        assert main(
+            ["cache", "gc", "--purge-quarantine", "0",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
+        assert "purged 1 quarantined" in capsys.readouterr().out
+        assert store.quarantine_usage()["entries"] == 0
+
+
+class TestChaosGoldenFailures:
+    @staticmethod
+    def _plan(tmp_path):
+        import json
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            json.dumps(
+                {
+                    "kind": "fault_plan",
+                    "format_version": 1,
+                    "seed": 3,
+                    "runner": [
+                        {"kind": "transient", "unit_index": 9, "times": 1}
+                    ],
+                }
+            )
+        )
+        return plan_path
+
+    def test_update_then_compare_round_trip(self, tmp_path, capsys):
+        from repro.chaos import load_failure_stream
+
+        plan = self._plan(tmp_path)
+        golden = tmp_path / "golden.json"
+        assert main(
+            ["chaos", "--plan", str(plan), "--quick",
+             "--golden-failures", str(golden), "--update-golden"]
+        ) == 0
+        assert "wrote golden failure stream" in capsys.readouterr().out
+        _, records = load_failure_stream(golden.read_text())
+        assert [r.kind for r in records] == ["transient"]
+        assert main(
+            ["chaos", "--plan", str(plan), "--quick",
+             "--golden-failures", str(golden)]
+        ) == 0
+        assert "failure stream matches" in capsys.readouterr().out
+
+    def test_drift_fails_with_readable_diff(self, tmp_path, capsys):
+        from repro.chaos import render_failure_stream
+
+        plan = self._plan(tmp_path)
+        golden = tmp_path / "golden.json"
+        golden.write_text(render_failure_stream("0" * 64, []))
+        assert main(
+            ["chaos", "--plan", str(plan), "--quick",
+             "--golden-failures", str(golden)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "failure stream drift" in out
+        assert "plan digest mismatch" in out
+        assert "+ unexpected" in out

@@ -1,0 +1,538 @@
+"""Tests for ``repro lint --deep``: the whole-program taint analysis.
+
+Fixture packages are written under ``tmp_path`` (with ``__init__.py``
+files so the module indexer derives real dotted names) and indexed with
+the same ``build_index`` the CLI uses.  The suite pins the call-graph
+resolution cases the engine promises (cycles, re-exports, registry
+factories, method dispatch, deferred imports), the exact taint-path
+message format, the fork-safety F-rules, the baseline drift gate, and
+the CLI exit codes -- plus the self-check that the repository's own
+tree is clean against the committed baseline.
+"""
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.lint.deep import (
+    BASELINE_KIND,
+    BaselineError,
+    diff_baseline,
+    load_baseline,
+    render_baseline,
+    run_deep_analysis,
+    write_baseline,
+)
+from repro.lint.deep.callgraph import build_call_graph
+from repro.lint.deep.concurrency import check_fork_safety
+from repro.lint.deep.modindex import build_index
+from repro.lint.deep.taint import collect_seeds, trace_taint_paths
+from repro.lint.cli import main as lint_main
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def build(root, files):
+    """Write a fixture tree and index it.
+
+    Every directory between a written file and ``root`` gets an
+    ``__init__.py`` (unless the fixture supplies one), so dotted module
+    names resolve the same way they do for the real package.
+    """
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source).lstrip("\n"))
+    for rel in files:
+        parent = (root / rel).parent
+        while parent != root:
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            parent = parent.parent
+    return build_index([root])
+
+
+def graph_of(root, files):
+    return build_call_graph(build(root, files))
+
+
+#: The acceptance-criterion fixture: a tainted helper two call hops away
+#: from the deterministic core.
+TWO_HOP_TAINT = {
+    "pkg/sim/engine.py": """
+        from pkg.util.helper import decorate
+
+        def run():
+            return decorate()
+        """,
+    "pkg/util/helper.py": """
+        from pkg.util.clock import stamp
+
+        def decorate():
+            return stamp()
+        """,
+    "pkg/util/clock.py": """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+}
+
+
+# ----------------------------------------------------------------------
+# Module indexing
+# ----------------------------------------------------------------------
+
+
+class TestModuleIndex:
+    def test_dotted_names_derived_from_package_layout(self, tmp_path):
+        index = build(tmp_path, TWO_HOP_TAINT)
+        assert "pkg.sim.engine" in index.modules
+        assert "pkg.util.clock.stamp" in index.functions
+        assert index.files_indexed == 6  # 3 modules + 3 __init__.py
+
+    def test_annotated_registry_dict_is_indexed(self, tmp_path):
+        index = build(
+            tmp_path,
+            {
+                "pkg/reg.py": """
+                    from typing import Any, Callable, Dict
+
+                    _FACTORIES: Dict[str, Callable[[], Any]] = {}
+                    """,
+            },
+        )
+        assert "_FACTORIES" in index.modules["pkg.reg"].registry_dicts
+
+    def test_syntax_error_is_recorded_not_fatal(self, tmp_path):
+        index = build(
+            tmp_path,
+            {"pkg/ok.py": "x = 1\n", "pkg/bad.py": "def broken(:\n"},
+        )
+        assert "pkg.ok" in index.modules
+        assert "pkg.bad" not in index.modules
+        assert len(index.parse_errors) == 1
+        assert index.parse_errors[0][0].endswith("pkg/bad.py")
+
+
+# ----------------------------------------------------------------------
+# Call-graph resolution
+# ----------------------------------------------------------------------
+
+
+class TestCallGraph:
+    def test_cyclic_modules_resolve_both_directions(self, tmp_path):
+        graph = graph_of(
+            tmp_path,
+            {
+                "pkg/a.py": """
+                    from pkg import b
+
+                    def ping():
+                        return b.pong()
+                    """,
+                "pkg/b.py": """
+                    from pkg import a
+
+                    def pong():
+                        return a.ping()
+                    """,
+            },
+        )
+        assert "pkg.b.pong" in graph.callees("pkg.a.ping")
+        assert "pkg.a.ping" in graph.callees("pkg.b.pong")
+        # and the taint tracer's BFS terminates on the cycle
+        trace_taint_paths(graph, core_paths=("pkg/a.py",))
+
+    def test_re_exported_name_resolves_to_defining_module(self, tmp_path):
+        graph = graph_of(
+            tmp_path,
+            {
+                "pkg/impl.py": """
+                    def helper():
+                        return 1
+                    """,
+                "pkg/__init__.py": "from pkg.impl import helper\n",
+                "main.py": """
+                    from pkg import helper
+
+                    def use():
+                        return helper()
+                    """,
+            },
+        )
+        assert "pkg.impl.helper" in graph.callees("main.use")
+
+    def test_registry_factory_and_method_resolution(self, tmp_path):
+        graph = graph_of(
+            tmp_path,
+            {
+                "pkg/registry.py": """
+                    _FACTORIES = {}
+
+                    def register(name, factory):
+                        _FACTORIES[name] = factory
+                        return factory
+
+                    def create(name):
+                        return _FACTORIES[name]()
+                    """,
+                "pkg/things.py": """
+                    from pkg.registry import register
+
+                    class Ring:
+                        def __init__(self):
+                            self.n = 0
+
+                        def spin(self):
+                            return self.n
+
+                    def _make_ring():
+                        return Ring()
+
+                    def _load():
+                        register("ring", _make_ring)
+
+                    def drive():
+                        ring = Ring()
+                        return ring.spin()
+                    """,
+            },
+        )
+        # registration through the registrar function is observed ...
+        assert graph.registries["pkg.registry._FACTORIES"] == {
+            "pkg.things._make_ring"
+        }
+        # ... so the dict's consumer dispatches to every member
+        assert "pkg.things._make_ring" in graph.callees("pkg.registry.create")
+        # factory -> constructor, and local-variable method dispatch
+        assert "pkg.things.Ring.__init__" in graph.callees(
+            "pkg.things._make_ring"
+        )
+        assert "pkg.things.Ring.spin" in graph.callees("pkg.things.drive")
+
+    def test_function_level_deferred_import_resolves(self, tmp_path):
+        graph = graph_of(
+            tmp_path,
+            {
+                "pkg/impl.py": """
+                    def helper():
+                        return 1
+                    """,
+                "pkg/deferred.py": """
+                    def late():
+                        from pkg.impl import helper
+                        return helper()
+                    """,
+            },
+        )
+        assert "pkg.impl.helper" in graph.callees("pkg.deferred.late")
+
+
+# ----------------------------------------------------------------------
+# Taint seeds and propagation
+# ----------------------------------------------------------------------
+
+
+class TestTaint:
+    def test_seed_kinds_collected(self, tmp_path):
+        index = build(
+            tmp_path,
+            {
+                "pkg/noisy.py": """
+                    import os
+
+                    def noisy(d):
+                        for item in {1, 2}:
+                            print(item)
+                        names = os.listdir(d)
+                        home = os.environ["HOME"]
+                        return names, home, hash(d)
+                    """,
+            },
+        )
+        seeds = collect_seeds(index.functions["pkg.noisy.noisy"])
+        assert {seed.kind for seed in seeds} == {
+            "set_iteration",
+            "fs_order",
+            "env_read",
+            "builtin_hash",
+        }
+
+    def test_two_hop_path_message_format_is_pinned(self, tmp_path):
+        graph = graph_of(tmp_path, TWO_HOP_TAINT)
+        result = trace_taint_paths(graph)
+        assert len(result.paths) == 1
+        path = result.paths[0]
+        assert path.fingerprint == (
+            "T001|pkg.sim.engine.run->pkg.util.helper.decorate"
+            "->pkg.util.clock.stamp|wall_clock|time.time"
+        )
+        prefix, _, location = path.message.partition("; source at ")
+        assert prefix == (
+            "deterministic core reaches wall-clock read `time.time`: "
+            "pkg.sim.engine.run -> pkg.util.helper.decorate "
+            "-> pkg.util.clock.stamp"
+        )
+        assert location.endswith("pkg/util/clock.py:4")
+
+    def test_direct_seed_in_core_is_not_a_taint_path(self, tmp_path):
+        # zero-hop sources are the shallow D-rules' job; T001 only
+        # reports *transitive* reaches (chains of >= 1 edge).
+        graph = graph_of(
+            tmp_path,
+            {
+                "pkg/sim/engine.py": """
+                    import time
+
+                    def run():
+                        return time.time()
+                    """,
+            },
+        )
+        assert trace_taint_paths(graph).paths == []
+
+    def test_seed_line_suppression_clears_the_path(self, tmp_path):
+        files = dict(TWO_HOP_TAINT)
+        files["pkg/util/clock.py"] = """
+            import time
+
+            def stamp():
+                return time.time()  # reprolint: disable=D001
+            """
+        result = trace_taint_paths(graph_of(tmp_path, files))
+        assert result.paths == []
+        assert result.suppressed_seeds == 1
+
+    def test_root_call_site_suppression_clears_the_finding(self, tmp_path):
+        files = dict(TWO_HOP_TAINT)
+        files["pkg/sim/engine.py"] = """
+            from pkg.util.helper import decorate
+
+            def run():
+                return decorate()  # reprolint: disable=T001
+            """
+        build(tmp_path, files)
+        result = run_deep_analysis(
+            [tmp_path], baseline_path=tmp_path / "baseline.json"
+        )
+        assert result.report.ok
+        assert result.fingerprints == set()
+        assert result.report.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# Fork-safety (F-rules)
+# ----------------------------------------------------------------------
+
+
+class TestForkSafety:
+    def test_post_import_global_writes_flagged(self, tmp_path):
+        index = build(
+            tmp_path,
+            {
+                "proj/sim/runner.py": """
+                    _CACHE = {}
+                    _COUNT = 0
+
+                    def remember(key, value):
+                        _CACHE[key] = value
+
+                    def bump():
+                        global _COUNT
+                        _COUNT += 1
+                    """,
+            },
+        )
+        findings = [f for f, _ in check_fork_safety(index)]
+        assert [f.code for f in findings] == ["F001", "F001"]
+        assert {"_CACHE", "_COUNT"} <= {
+            name
+            for f in findings
+            for name in ("_CACHE", "_COUNT")
+            if name in f.message
+        }
+
+    def test_import_time_file_handle_flagged(self, tmp_path):
+        index = build(
+            tmp_path,
+            {
+                "proj/chaos/runner.py": """
+                    LOG = open("runner.log", "a")
+                    """,
+            },
+        )
+        findings = [f for f, _ in check_fork_safety(index)]
+        assert [f.code for f in findings] == ["F002"]
+
+    def test_lock_held_around_atomic_rename_flagged(self, tmp_path):
+        index = build(
+            tmp_path,
+            {
+                "proj/sim/runner.py": """
+                    import os
+                    import threading
+
+                    _LOCK = threading.Lock()
+
+                    def publish(tmp, final):
+                        with _LOCK:
+                            os.replace(tmp, final)
+                    """,
+            },
+        )
+        findings = [f for f, _ in check_fork_safety(index)]
+        assert [f.code for f in findings] == ["F003"]
+
+    def test_modules_outside_fork_scope_not_checked(self, tmp_path):
+        index = build(
+            tmp_path,
+            {
+                "proj/util/other.py": """
+                    _CACHE = {}
+
+                    def remember(key, value):
+                        _CACHE[key] = value
+                    """,
+            },
+        )
+        assert check_fork_safety(index) == []
+
+
+# ----------------------------------------------------------------------
+# Baseline snapshot
+# ----------------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_write_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, {"T001|b|wall_clock|x", "T001|a|env_read|y"})
+        assert load_baseline(path) == {
+            "T001|a|env_read|y",
+            "T001|b|wall_clock|x",
+        }
+        # rendering is canonical: same set, same bytes
+        assert path.read_text() == render_baseline(
+            ["T001|b|wall_clock|x", "T001|a|env_read|y"]
+        )
+        assert BASELINE_KIND in path.read_text()
+
+    def test_diff_separates_new_from_stale(self):
+        new, stale = diff_baseline({"a", "b"}, {"b", "c"})
+        assert new == ["a"]
+        assert stale == ["c"]
+
+    def test_load_rejects_foreign_document(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"kind": "something_else", "entries": []}\n')
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+
+# ----------------------------------------------------------------------
+# The driver and its drift gate
+# ----------------------------------------------------------------------
+
+
+class TestDeepAnalysis:
+    def test_missing_baseline_reports_every_path_as_new(self, tmp_path):
+        build(tmp_path, TWO_HOP_TAINT)
+        result = run_deep_analysis(
+            [tmp_path], baseline_path=tmp_path / "baseline.json"
+        )
+        assert not result.report.ok
+        assert [f.code for f in result.report.findings] == ["T001"]
+        assert result.accepted == 0
+        assert len(result.new) == 1
+
+    def test_update_baseline_round_trips_byte_identical(self, tmp_path):
+        build(tmp_path, TWO_HOP_TAINT)
+        baseline = tmp_path / "baseline.json"
+        first = run_deep_analysis(
+            [tmp_path], baseline_path=baseline, update_baseline=True
+        )
+        assert first.updated and first.report.ok
+        snapshot = baseline.read_bytes()
+        # accepted now, no drift
+        second = run_deep_analysis([tmp_path], baseline_path=baseline)
+        assert second.report.ok
+        assert second.new == [] and second.stale == []
+        assert second.accepted == 1
+        # re-updating an unchanged tree must not move a byte
+        run_deep_analysis(
+            [tmp_path], baseline_path=baseline, update_baseline=True
+        )
+        assert baseline.read_bytes() == snapshot
+
+    def test_stale_baseline_entry_surfaces_as_b001(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "clean.py").write_text("x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, {"T001|gone.func|wall_clock|time.time"})
+        result = run_deep_analysis([tmp_path], baseline_path=baseline)
+        assert not result.report.ok
+        assert [f.code for f in result.report.findings] == ["B001"]
+        assert "T001|gone.func|wall_clock|time.time" in (
+            result.report.findings[0].message
+        )
+
+
+class TestDeepCli:
+    def test_drift_then_update_then_clean(self, tmp_path, capsys):
+        build(tmp_path, TWO_HOP_TAINT)
+        baseline = str(tmp_path / "baseline.json")
+        assert (
+            lint_main(["--deep", "--baseline", baseline, str(tmp_path)]) == 1
+        )
+        out = capsys.readouterr().out
+        assert "T001" in out and "+ new:" in out
+        assert (
+            lint_main(
+                [
+                    "--deep",
+                    "--baseline",
+                    baseline,
+                    "--update-baseline",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "baseline updated" in capsys.readouterr().out
+        assert (
+            lint_main(["--deep", "--baseline", baseline, str(tmp_path)]) == 0
+        )
+        assert "no drift against baseline" in capsys.readouterr().out
+
+    def test_select_with_deep_is_a_usage_error(self, capsys):
+        assert lint_main(["--deep", "--select", "D"]) == 2
+        assert "--select does not apply" in capsys.readouterr().err
+
+    def test_baseline_flags_require_deep(self, capsys):
+        assert lint_main(["--update-baseline"]) == 2
+        assert "require --deep" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Self-check: the repository tree against its committed baseline
+# ----------------------------------------------------------------------
+
+
+class TestSelfCheck:
+    def test_repo_tree_has_no_drift_against_committed_baseline(self):
+        result = run_deep_analysis(
+            [REPO / "src"],
+            baseline_path=REPO / "lint-deep-baseline.json",
+        )
+        assert result.report.ok, [
+            finding.render() for finding in result.report.findings
+        ]
+        assert result.new == [] and result.stale == []
+        # the graph really is whole-program, not a trivial index
+        assert result.call_graph is not None
+        assert result.call_graph.edge_count > 300
+        assert result.call_graph.registries

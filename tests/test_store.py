@@ -12,6 +12,8 @@ Covers the ISSUE's cache-semantics contracts:
 
 import json
 import multiprocessing
+import os
+import time
 
 import pytest
 
@@ -99,7 +101,12 @@ class TestRunStore:
         for spec in _grid(4):
             store.put(spec, repro.execute(spec))
         outcome = store.gc()
-        assert outcome == {"removed": 3, "kept": 4, "unlink_errors": 0}
+        assert outcome == {
+            "removed": 3,
+            "kept": 4,
+            "unlink_errors": 0,
+            "quarantine_purged": 0,
+        }
         outcome = store.gc(max_entries=2)
         assert outcome["kept"] == 2
         assert store.clear() == 2
@@ -205,6 +212,72 @@ class TestStoreIntegrity:
         assert stats.corrupt_entries == 1
         assert stats.to_dict()["corrupt_entries"] == 1
         assert "1 corrupt" in stats.render()
+
+
+class TestQuarantineLifecycle:
+    @staticmethod
+    def _quarantine_one(store, spec):
+        """Corrupt ``spec``'s entry and trip the read-path quarantine."""
+        path = store.path_for(store.digest(spec))
+        path.write_text("{not json")
+        assert store.get(spec) is None
+        return store.quarantine_dir / path.name
+
+    def test_stats_and_verify_report_quarantine_usage(self, tmp_path):
+        store = RunStore(tmp_path)
+        specs = _grid(3)
+        for spec in specs:
+            store.put(spec, repro.execute(spec))
+        held = self._quarantine_one(store, specs[0])
+        stats = store.stats()
+        assert stats.quarantine_entries == 1
+        assert stats.quarantine_bytes == held.stat().st_size
+        assert stats.to_dict()["quarantine_entries"] == 1
+        assert "quarantine: 1 entries" in stats.render()
+        report = store.verify()
+        assert report.quarantine_entries == 1
+        assert report.quarantine_bytes == held.stat().st_size
+        assert "quarantine holds 1 entries" in report.render()
+
+    def test_verify_counts_entries_it_just_quarantined(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _spec()
+        store.put(spec, repro.execute(spec))
+        path = store.path_for(store.digest(spec))
+        path.write_bytes(path.read_bytes()[:40])
+        report = store.verify(quarantine=True)
+        assert report.quarantined == 1
+        assert report.quarantine_entries == 1
+
+    def test_purge_honors_age_cutoff(self, tmp_path):
+        store = RunStore(tmp_path)
+        specs = _grid(2)
+        for spec in specs:
+            store.put(spec, repro.execute(spec))
+        old = self._quarantine_one(store, specs[0])
+        young = self._quarantine_one(store, specs[1])
+        two_days_ago = time.time() - 2 * 86400
+        os.utime(old, (two_days_ago, two_days_ago))
+        assert store.purge_quarantine(older_than_days=1.0) == 1
+        assert not old.exists() and young.exists()
+        assert store.purge_quarantine() == 1  # 0 days: purge everything
+        assert store.quarantine_usage() == {"entries": 0, "bytes": 0}
+
+    def test_purge_rejects_negative_age(self, tmp_path):
+        with pytest.raises(ValueError, match="older_than_days"):
+            RunStore(tmp_path).purge_quarantine(older_than_days=-1.0)
+
+    def test_gc_purges_quarantine_only_when_asked(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = _spec()
+        store.put(spec, repro.execute(spec))
+        self._quarantine_one(store, spec)
+        outcome = store.gc()
+        assert outcome["quarantine_purged"] == 0
+        assert store.quarantine_usage()["entries"] == 1
+        outcome = store.gc(purge_quarantine_days=0.0)
+        assert outcome["quarantine_purged"] == 1
+        assert store.quarantine_usage()["entries"] == 0
 
 
 class TestCachingRunner:
