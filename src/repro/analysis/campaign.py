@@ -62,6 +62,10 @@ class CampaignSection:
     passed: bool
     seconds: float = 0.0
     runs: int = 0
+    data: Optional[Dict[str, Any]] = None
+    """Optional structured payload for the section (beyond the rendered
+    table); included in ``to_dict`` when set, e.g. the per-scheduler
+    degradation numbers of the scheduler-models section."""
 
     def render(self) -> str:
         """The section as '[PASS/FAIL] title' plus its table."""
@@ -70,12 +74,15 @@ class CampaignSection:
 
     def to_dict(self) -> Dict[str, Any]:
         """Machine-readable form: title, verdict, timing, run count."""
-        return {
+        entry: Dict[str, Any] = {
             "title": self.title,
             "passed": self.passed,
             "seconds": round(self.seconds, 6),
             "runs": self.runs,
         }
+        if self.data is not None:
+            entry["data"] = self.data
+        return entry
 
 
 @dataclass
@@ -478,6 +485,82 @@ def _section_byzantine(scale: str, runner: Runner) -> CampaignSection:
     )
 
 
+def _section_schedulers(scale: str, runner: Runner) -> CampaignSection:
+    """Section VIII -- where Algorithm 4 degrades beyond FSYNC.
+
+    The paper proves the k-1 round bound in the fully synchronous model
+    and names ssync/async as open; this section runs the same churn
+    instance under all three scheduler models and charts the
+    degradation: dispersion is still reached (the algorithm is safe --
+    every reachable configuration keeps making progress on fully-active
+    steps), but only FSYNC keeps the k-1 bound.
+    """
+    n, k = (18, 12) if scale == "quick" else (28, 20)
+    budget = 4000
+    base = RunSpec(
+        graph=_CHURN(n, 3),
+        placement=PlacementSpec(kind="rooted", k=k),
+        max_rounds=budget,
+        collect_records=False,
+        label="schedulers fsync",
+    )
+    fsync, ssync, async_ = runner.run(
+        [
+            base,
+            base.with_(
+                scheduler=ComponentSpec(
+                    "ssync",
+                    {"policy": "random_subset", "p": 0.6, "seed": 5},
+                ),
+                label="schedulers ssync",
+            ),
+            base.with_(
+                scheduler=ComponentSpec(
+                    "async",
+                    {"seed": 5, "distribution": "uniform", "max_delay": 3},
+                ),
+                label="schedulers async",
+            ),
+        ]
+    )
+    bound = k - 1
+    rows = [
+        ("fsync", fsync.dispersed, fsync.rounds, fsync.rounds <= bound),
+        ("ssync p=0.6", ssync.dispersed, ssync.rounds,
+         ssync.rounds <= bound),
+        ("async uniform<=3", async_.dispersed, async_.rounds,
+         async_.rounds <= bound),
+    ]
+    ok = (
+        fsync.dispersed and ssync.dispersed and async_.dispersed
+        and fsync.rounds <= bound
+        and ssync.rounds >= fsync.rounds
+        and async_.rounds >= fsync.rounds
+    )
+    body = format_table(
+        ("scheduler", "dispersed", "steps", f"within k-1={bound}"), rows
+    )
+    return CampaignSection(
+        "Section VIII -- scheduler models: Algorithm 4 degradation "
+        "under ssync/async",
+        body,
+        ok,
+        data={
+            "algorithm": "dispersion_dynamic",
+            "bound": bound,
+            "degradation": {
+                "fsync": {"dispersed": fsync.dispersed,
+                          "steps": fsync.rounds},
+                "ssync": {"dispersed": ssync.dispersed,
+                          "steps": ssync.rounds},
+                "async": {"dispersed": async_.dispersed,
+                          "steps": async_.rounds,
+                          "final_epoch": async_.final_epoch},
+            },
+        },
+    )
+
+
 _SECTIONS = (
     _section_algorithm,
     _section_lower_bound,
@@ -488,6 +571,7 @@ _SECTIONS = (
     _section_figure34,
     _section_ring,
     _section_byzantine,
+    _section_schedulers,
 )
 
 

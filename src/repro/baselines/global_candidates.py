@@ -31,6 +31,9 @@ class _GlobalNo1NKBase(RobotAlgorithm):
 
     requires_communication = CommunicationModel.GLOBAL
     requires_neighborhood_knowledge = False
+    # Lower-bound candidates: the adversary argument stalls a lock-step
+    # round structure, so running them semi-/asynchronously is meaningless.
+    compatible_schedulers = ("fsync",)
 
     def decide(self, observation: Observation) -> Decision:
         packet = observation.own_packet

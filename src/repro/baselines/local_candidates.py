@@ -36,6 +36,9 @@ class _LocalCandidateBase(RobotAlgorithm):
 
     requires_communication = CommunicationModel.LOCAL
     requires_neighborhood_knowledge = True
+    # Lower-bound candidates: the adversary argument stalls a lock-step
+    # round structure, so running them semi-/asynchronously is meaningless.
+    compatible_schedulers = ("fsync",)
 
     def decide(self, observation: Observation) -> Decision:
         packet = observation.own_packet

@@ -19,9 +19,13 @@ Faults come in three layers, mirroring the execution stack:
   pool timeout, ``transient`` raises a retriable exception, ``slow``
   injects latency without failing (the unit still completes and must
   still produce bit-identical results).
-  ``unit_index`` counts work units globally across every
-  ``run()`` call the chaos runner serves, so a fault addresses "the Nth
-  unit of the campaign".
+  A runner fault is addressed one of two ways: ``unit_index`` counts
+  work units globally across every ``run()`` call the chaos runner
+  serves ("the Nth unit of the campaign" -- which *physical* unit that
+  is depends on the pool's ``chunksize``), while ``spec_digest`` names
+  the :func:`~repro.sim.spec.spec_digest` of a spec the unit contains,
+  which keeps the plan meaning the same work however the units are
+  batched.
 * :class:`EngineFault` -- raises from a named engine phase hook
   (:class:`repro.chaos.engine_faults.PhaseFaultObserver`) while the
   ``spec_index``-th dispatched spec executes.
@@ -36,7 +40,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.sim.spec import canonical_json
 
@@ -98,7 +102,15 @@ class StoreFault:
 
 @dataclass(frozen=True)
 class RunnerFault:
-    """Make the ``unit_index``-th dispatched work unit misbehave.
+    """Make one dispatched work unit misbehave.
+
+    The target is addressed by exactly one of ``unit_index`` (the Nth
+    unit dispatched globally -- chunksize-dependent) or ``spec_digest``
+    (the unit containing the spec with that
+    :func:`~repro.sim.spec.spec_digest` -- chunksize-portable; the
+    failure stream then records the matched spec's global index as the
+    canonical unit, so the stream is identical however units are
+    batched).
 
     ``times`` bounds how often the fault fires (a re-dispatched unit
     would otherwise crash forever); ``seconds`` is the stall length of a
@@ -108,9 +120,10 @@ class RunnerFault:
     """
 
     kind: str
-    unit_index: int
+    unit_index: Optional[int] = None
     times: int = 1
     seconds: float = 30.0
+    spec_digest: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in RUNNER_FAULT_KINDS:
@@ -118,30 +131,46 @@ class RunnerFault:
                 f"unknown runner fault kind {self.kind!r}; expected one of "
                 f"{RUNNER_FAULT_KINDS}"
             )
-        if self.unit_index < 0:
+        if (self.unit_index is None) == (self.spec_digest is None):
+            raise PlanError(
+                "a runner fault is addressed by exactly one of unit_index "
+                "or spec_digest"
+            )
+        if self.unit_index is not None and self.unit_index < 0:
             raise PlanError(f"unit_index must be >= 0, got {self.unit_index}")
+        if self.spec_digest is not None and not self.spec_digest:
+            raise PlanError("spec_digest must be a non-empty digest string")
         if self.times < 1:
             raise PlanError(f"times must be >= 1, got {self.times}")
         if self.seconds <= 0:
             raise PlanError(f"seconds must be positive, got {self.seconds}")
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form."""
-        return {
+        """Plain-dict form (only the addressing field in use is kept,
+        so index-addressed plans serialize exactly as they always have).
+        """
+        data: Dict[str, Any] = {
             "kind": self.kind,
-            "unit_index": self.unit_index,
             "times": self.times,
             "seconds": self.seconds,
         }
+        if self.unit_index is not None:
+            data["unit_index"] = self.unit_index
+        if self.spec_digest is not None:
+            data["spec_digest"] = self.spec_digest
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunnerFault":
         """Inverse of :meth:`to_dict`."""
+        unit_index = data.get("unit_index")
+        digest = data.get("spec_digest")
         return cls(
             kind=str(data["kind"]),
-            unit_index=int(data["unit_index"]),
+            unit_index=int(unit_index) if unit_index is not None else None,
             times=int(data.get("times", 1)),
             seconds=float(data.get("seconds", 30.0)),
+            spec_digest=str(digest) if digest is not None else None,
         )
 
 

@@ -92,6 +92,12 @@ def _print_cache_line(store: Optional[RunStore]) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.sim.scheduling import (
+        AsyncScheduler,
+        RandomSubsetActivation,
+        SsyncScheduler,
+    )
+
     dyn = RandomChurnDynamicGraph(
         args.n, extra_edges=args.extra_edges, seed=args.seed
     )
@@ -100,13 +106,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         robots = RobotSet.arbitrary(args.k, args.n, random.Random(args.seed))
 
+    scheduler = None
+    max_rounds = None
+    if args.scheduler == "ssync":
+        scheduler = SsyncScheduler(
+            RandomSubsetActivation(args.activation_p, seed=args.seed)
+        )
+        max_rounds = 10 * args.k * args.n + 100
+    elif args.scheduler == "async":
+        scheduler = AsyncScheduler(seed=args.seed, max_delay=args.max_delay)
+        max_rounds = 10 * args.k * args.n + 100
+
     result = SimulationEngine(
         dyn,
         robots,
         DispersionDynamic(),
+        scheduler=scheduler,
+        max_rounds=max_rounds,
         observers=[ProgressNarrator()] if args.live else None,
     ).run()
     print(result.summary())
+    if result.final_epoch is not None:
+        print(f"scheduler={args.scheduler} final logical epoch: "
+              f"{result.final_epoch}")
     if args.trace:
         rows = [
             (
@@ -458,6 +480,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--live", action="store_true",
         help="print per-round progress as the run executes",
+    )
+    p_run.add_argument(
+        "--scheduler", choices=("fsync", "ssync", "async"),
+        default="fsync",
+        help="scheduler model driving the execution (default: fsync, "
+        "the paper's fully synchronous model; see docs/scheduling.md)",
+    )
+    p_run.add_argument(
+        "--activation-p", type=float, default=0.6,
+        help="per-robot activation probability for --scheduler ssync",
+    )
+    p_run.add_argument(
+        "--max-delay", type=int, default=3,
+        help="max inter-activation delay for --scheduler async",
     )
     p_run.set_defaults(func=_cmd_run)
 

@@ -17,6 +17,10 @@ pin down statically:
   type inference);
 * constructor calls, which edge to the class's ``__init__`` (resolved
   through bases);
+* ``functools.partial(f, ...)`` construction, which edges the builder
+  to ``f`` (constructing a partial nearly always precedes invoking it
+  in the same dynamic extent, mirroring the nested-def heuristic) and
+  lets a partial passed to a registrar register the wrapped callable;
 * **registry dispatch**: a function that registers callables into a
   module-level dict (``_FACTORIES[name] = factory``) marks that dict as
   a registry; every call site of the registrar -- including decorator
@@ -405,6 +409,36 @@ class _GraphBuilder:
 
     # -- call handling -------------------------------------------------
 
+    def _partial_target(
+        self,
+        function: FunctionInfo,
+        node: ast.AST,
+        scope: "_Scope",
+    ) -> Optional[ast.AST]:
+        """The wrapped callable of a ``functools.partial(f, ...)`` call.
+
+        Returns the first positional argument when ``node`` is a call
+        whose func resolves -- through function-level or module-level
+        imports (``from functools import partial``, ``import functools``
+        or any aliased form) -- to absolute ``functools.partial``;
+        ``None`` otherwise.
+        """
+        if not isinstance(node, ast.Call) or not node.args:
+            return None
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        head = parts[0]
+        absolute = scope.imports.get(head) or function.module.imports.get(
+            head
+        )
+        if absolute is None:
+            return None
+        if ".".join([absolute] + parts[1:]) != "functools.partial":
+            return None
+        return node.args[0]
+
     def _resolve_call_target(
         self,
         module: ModuleInfo,
@@ -462,6 +496,13 @@ class _GraphBuilder:
                 function.module, node.func.func, scope, own_class
             )
             self._maybe_register(function, inner, node, scope)
+        # ``functools.partial(f, ...)``: constructing the partial is, for
+        # graph purposes, a (deferred) call of ``f``.
+        wrapped = self._partial_target(function, node, scope)
+        if wrapped is not None:
+            member = self._callable_qualname(function, wrapped, scope)
+            if member is not None:
+                self.graph.add_edge(function.qualname, member, site)
         if resolved is None:
             return
         kind, target = resolved
@@ -524,6 +565,10 @@ class _GraphBuilder:
     ) -> Optional[str]:
         if isinstance(node, ast.Lambda):
             return self._nested(function, node, scope).qualname
+        # A partial handed to a registrar registers the wrapped callable.
+        wrapped = self._partial_target(function, node, scope)
+        if wrapped is not None:
+            return self._callable_qualname(function, wrapped, scope)
         resolved = self._resolve_call_target(
             function.module, node, scope, None
         )

@@ -28,6 +28,7 @@ REGISTRY_ARITY = {
     "register_algorithm": 1,
     "register_byzantine": 1,
     "register_activation": 1,
+    "register_scheduler": 1,
 }
 
 

@@ -38,10 +38,15 @@ from repro.sim.traceio import (
     snapshot_to_dict,
 )
 from repro.sim.scheduling import (
+    Activation,
     ActivationSchedule,
+    AsyncScheduler,
+    FsyncScheduler,
     FullActivation,
     RandomSubsetActivation,
     RoundRobinActivation,
+    SchedulerModel,
+    SsyncScheduler,
 )
 from repro.sim.hooks import (
     CallbackObserver,
@@ -66,6 +71,7 @@ from repro.sim.spec import (
     register_algorithm,
     register_byzantine,
     register_graph,
+    register_scheduler,
     registered_components,
     spec_digest,
 )
@@ -104,6 +110,11 @@ __all__ = [
     "FullActivation",
     "RandomSubsetActivation",
     "RoundRobinActivation",
+    "Activation",
+    "SchedulerModel",
+    "FsyncScheduler",
+    "SsyncScheduler",
+    "AsyncScheduler",
     "EngineObserver",
     "CallbackObserver",
     "TraceCollector",
@@ -122,6 +133,7 @@ __all__ = [
     "register_algorithm",
     "register_byzantine",
     "register_activation",
+    "register_scheduler",
     "registered_components",
     "CODE_VERSION_SALT",
     "canonical_spec_json",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Union
+from typing import Any, Dict, Mapping, Tuple, Union
 
 from repro.sim.observation import CommunicationModel, Observation
 
@@ -60,6 +60,19 @@ class RobotAlgorithm(ABC):
     name: str = "abstract"
     requires_communication: CommunicationModel = CommunicationModel.GLOBAL
     requires_neighborhood_knowledge: bool = True
+
+    compatible_schedulers: Tuple[str, ...] = ("fsync", "ssync", "async")
+    """Scheduler-model names this algorithm is meaningful under.
+
+    Mirrors ``requires_communication``: the engine refuses to start a run
+    whose :class:`~repro.sim.scheduling.SchedulerModel` is not listed
+    here (``allow_model_mismatch=True`` overrides, exactly as for the
+    communication check).  The default is permissive -- an algorithm that
+    merely *degrades* outside FSYNC (e.g. losing its round bound, as
+    Algorithm 4 does) should stay runnable so the degradation can be
+    measured; declare ``("fsync",)`` only when non-synchronous execution
+    would make the run meaningless (e.g. lower-bound candidates whose
+    adversary argument assumes lock-step rounds)."""
 
     @abstractmethod
     def decide(self, observation: Observation) -> Decision:

@@ -7,13 +7,22 @@ schedule.  Each round executes the paper's CCM structure:
 1. the adversary/dynamic process supplies ``G_r`` knowing the configuration
    (validated: fixed vertex set, connected, simple, port-bijective);
 2. robots scheduled to crash *before Communicate* vanish;
-3. **Communicate** -- per-node information packets are built and delivered
-   according to the communication model (global or local) and sensing model
-   (with or without 1-neighborhood knowledge);
-4. **Compute** -- every alive robot's decision is collected (no decision is
-   applied until all are collected: the setting is synchronous);
+3. **Communicate / observe** -- per-node information packets are built and
+   delivered according to the communication model (global or local) and
+   sensing model (with or without 1-neighborhood knowledge);
+4. **Compute** -- the decisions of all robots *activated this step* are
+   collected (no decision is applied until all are collected);
 5. robots scheduled to crash *after Compute* vanish, their moves discarded;
-6. **Move** -- all remaining moves are applied simultaneously.
+6. **Move** -- surviving moves are applied; under a scheduler whose Move
+   phase takes time, a move instead becomes *pending* (the robot commits
+   to its edge now but stays at its origin until the arrival step);
+7. **Settle** -- pending moves whose arrival step has come are applied.
+
+Which robots are activated in step 4 -- and what logical time a step
+carries -- is decided by a :class:`~repro.sim.scheduling.SchedulerModel`:
+FSYNC (the paper's model, the default, byte-identical to the historical
+synchronous loop), SSYNC (an activation policy picks a subset per step)
+or ASYNC (a seeded event-queue scheduler).  See ``docs/scheduling.md``.
 
 The engine owns the ground truth and uses it for termination detection,
 validation, and metrics; algorithms never receive it.
@@ -26,6 +35,7 @@ from typing import (
     TYPE_CHECKING,
     Callable,
     Dict,
+    FrozenSet,
     Mapping,
     Optional,
     Sequence,
@@ -51,7 +61,13 @@ from repro.sim.observation import (
     build_info_packets,
     observations_from_packets,
 )
-from repro.sim.scheduling import ActivationSchedule, FullActivation
+from repro.sim.scheduling import (
+    Activation,
+    ActivationSchedule,
+    FsyncScheduler,
+    SchedulerModel,
+    SsyncScheduler,
+)
 
 
 class SimulationError(RuntimeError):
@@ -80,8 +96,17 @@ class SimulationEngine:
         ``allow_model_mismatch=True`` to override -- that is exactly what
         the impossibility demonstrations do when they run global-model
         candidate algorithms under handicapped models.
+    scheduler:
+        The :class:`~repro.sim.scheduling.SchedulerModel` driving the
+        phase loop (default: FSYNC, the paper's model).  Mutually
+        exclusive with ``activation_schedule``, which is kept as
+        shorthand for ``SsyncScheduler(schedule)``.  The engine refuses
+        to start if the algorithm's ``compatible_schedulers`` declaration
+        excludes the model (same override as the communication check).
     max_rounds:
-        Safety cap; defaults to a generous bound well above O(k).
+        Safety cap on engine *steps* (== CCM rounds under FSYNC/SSYNC;
+        activation-batch steps under ASYNC); defaults to a generous
+        bound well above O(k).
     collect_records:
         Set False to skip per-round records in large benchmark sweeps.
     round_observers:
@@ -111,6 +136,7 @@ class SimulationEngine:
         validate_graphs: bool = True,
         allow_model_mismatch: bool = False,
         activation_schedule: Optional[ActivationSchedule] = None,
+        scheduler: Optional[SchedulerModel] = None,
         byzantine_policies: Optional[Mapping[int, "ByzantinePolicy"]] = None,
         round_observers: Optional[
             Sequence[Callable[[RoundRecord], None]]
@@ -127,6 +153,19 @@ class SimulationEngine:
         else:
             initial_positions = dict(robots)
             RobotSet(initial_positions, dynamic_graph.n)  # validates
+
+        if scheduler is not None and activation_schedule is not None:
+            raise ValueError(
+                "pass either scheduler or activation_schedule, not both "
+                "(an activation schedule is shorthand for "
+                "SsyncScheduler(schedule))"
+            )
+        if scheduler is None:
+            scheduler = (
+                SsyncScheduler(activation_schedule)
+                if activation_schedule is not None
+                else FsyncScheduler()
+            )
 
         if not allow_model_mismatch:
             if (
@@ -147,6 +186,13 @@ class SimulationEngine:
                     "knowledge but the run disables it; pass "
                     "allow_model_mismatch=True if this is intentional"
                 )
+            if scheduler.name not in algorithm.compatible_schedulers:
+                raise ValueError(
+                    f"algorithm {algorithm.name!r} declares compatible "
+                    f"schedulers {algorithm.compatible_schedulers!r} but the "
+                    f"run uses {scheduler.name!r}; pass "
+                    "allow_model_mismatch=True if this is intentional"
+                )
 
         self._dynamic_graph = dynamic_graph
         self._algorithm = algorithm
@@ -156,7 +202,7 @@ class SimulationEngine:
         self._collect_records = collect_records
         self._collect_snapshots = collect_snapshots
         self._validate_graphs = validate_graphs
-        self._activation = activation_schedule or FullActivation()
+        self._scheduler = scheduler
         # Phase observers: new-style EngineObservers plus legacy plain
         # callables (adapted).  Trace capture is itself an observer.
         hooks: list = list(observers or ())
@@ -189,6 +235,10 @@ class SimulationEngine:
         self._positions: Dict[int, int] = dict(initial_positions)
         self._crashed: Set[int] = set()
         self._entry_ports: Dict[int, int] = {}
+        # robot -> (arrival step, destination, entry port at destination):
+        # moves whose Move phase takes time under the scheduler model.
+        self._pending_moves: Dict[int, Tuple[int, int, int]] = {}
+        self._last_epoch: Optional[int] = None
         self._ever_occupied: Set[int] = set(initial_positions.values())
         self._initial_occupied = len(self._ever_occupied)
 
@@ -248,6 +298,9 @@ class SimulationEngine:
         for robot_id in victims:
             del self._positions[robot_id]
             self._entry_ports.pop(robot_id, None)
+            # A crashed robot vanishes mid-traversal too: its pending
+            # arrival is discarded with it.
+            self._pending_moves.pop(robot_id, None)
             self._crashed.add(robot_id)
         return tuple(victims)
 
@@ -303,12 +356,139 @@ class SimulationEngine:
         )
 
     # ------------------------------------------------------------------
-    # Main loop
+    # Phase primitives
     # ------------------------------------------------------------------
 
     def _notify(self, method: str, *args) -> None:
         for observer in self._observers:
             getattr(observer, method)(*args)
+
+    def _eligible_robots(self) -> Tuple[int, ...]:
+        """Alive honest robots that can be activated (not in transit)."""
+        return tuple(
+            robot_id
+            for robot_id in sorted(self._honest_positions())
+            if robot_id not in self._pending_moves
+        )
+
+    def _phase_observe(self, snapshot, round_index: int):
+        """Deliver/observe: build packets and hand out observations."""
+        observations = self._communicate(snapshot, round_index)
+        self._notify("on_communicate", round_index, observations)
+        return observations
+
+    def _phase_activate(
+        self, round_index: int
+    ) -> Tuple[Activation, FrozenSet[int]]:
+        """Ask the scheduler who wakes this step; validate the answer.
+
+        Byzantine robots are appended by the engine itself -- the
+        adversary does not answer to the scheduler -- unless they are
+        mid-traversal.
+        """
+        activation = self._scheduler.next_activation(
+            round_index, self._eligible_robots()
+        )
+        active = frozenset(activation.active) | (
+            (set(self._byzantine) & set(self._positions))
+            - set(self._pending_moves)
+        )
+        if not set(active) <= set(self._positions):
+            raise SimulationError(
+                "activation schedule returned robots that are not alive"
+            )
+        if self._positions and not active and not self._pending_moves:
+            raise SimulationError(
+                "activation schedule returned an empty activation set"
+            )
+        return activation, active
+
+    def _phase_compute(
+        self, snapshot, round_index: int, observations, active: FrozenSet[int]
+    ) -> Dict[int, Decision]:
+        """Collect the decisions of all activated robots before applying
+        any (decisions within a step are simultaneous)."""
+        decisions: Dict[int, Decision] = {}
+        for robot_id in sorted(active):
+            policy = self._byzantine.get(robot_id)
+            if policy is not None:
+                node = self._positions[robot_id]
+                port = policy.choose_move(
+                    snapshot.degree(node), round_index
+                )
+                decisions[robot_id] = (
+                    MoveDecision(port) if port is not None else StayDecision()
+                )
+                continue
+            decision = self._algorithm.decide(observations[robot_id])
+            if not isinstance(decision, (StayDecision, MoveDecision)):
+                raise SimulationError(
+                    f"algorithm returned {decision!r} for robot "
+                    f"{robot_id}; expected StayDecision or MoveDecision"
+                )
+            decisions[robot_id] = decision
+        self._notify("on_compute", round_index, decisions)
+        return decisions
+
+    def _phase_move(
+        self,
+        snapshot,
+        round_index: int,
+        decisions: Dict[int, Decision],
+        activation: Activation,
+        new_entry_ports: Dict[int, int],
+    ) -> list:
+        """Apply surviving moves; queue delayed ones as pending.
+
+        The destination and entry port are resolved against the
+        decision-time snapshot even for delayed moves: the robot began
+        traversing the edge as it existed when the move was decided.
+        """
+        moved = []
+        for robot_id in sorted(decisions):
+            if robot_id not in self._positions:
+                continue
+            decision = decisions[robot_id]
+            if isinstance(decision, MoveDecision):
+                node = self._positions[robot_id]
+                if decision.port > snapshot.degree(node):
+                    raise SimulationError(
+                        f"robot {robot_id} chose port {decision.port} "
+                        f"but its node has degree {snapshot.degree(node)}"
+                    )
+                destination = snapshot.neighbor_via(node, decision.port)
+                entry_port = snapshot.port_of(destination, node)
+                delay = activation.move_delays.get(robot_id, 0)
+                if delay > 0:
+                    self._pending_moves[robot_id] = (
+                        round_index + delay,
+                        destination,
+                        entry_port,
+                    )
+                    continue
+                self._positions[robot_id] = destination
+                new_entry_ports[robot_id] = entry_port
+                moved.append(robot_id)
+        return moved
+
+    def _phase_settle(
+        self, round_index: int, new_entry_ports: Dict[int, int]
+    ) -> list:
+        """Apply pending moves whose arrival step has come."""
+        arrived = []
+        for robot_id in sorted(self._pending_moves):
+            arrival, destination, entry_port = self._pending_moves[robot_id]
+            if arrival <= round_index:
+                self._positions[robot_id] = destination
+                new_entry_ports[robot_id] = entry_port
+                arrived.append(robot_id)
+        for robot_id in arrived:
+            del self._pending_moves[robot_id]
+        return arrived
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
 
     def run(self) -> RunResult:
         """Execute rounds until dispersion, crash-out, or the round cap."""
@@ -360,9 +540,8 @@ class SimulationEngine:
             positions_before = dict(self._positions)
             occupied_before = frozenset(self._positions.values())
 
-            if self._is_dispersed():
-                observations = self._communicate(snapshot, round_index)
-                self._notify("on_communicate", round_index, observations)
+            if self._is_dispersed() and not self._pending_moves:
+                observations = self._phase_observe(snapshot, round_index)
                 detected = all(
                     self._algorithm.detects_termination(observations[rid])
                     for rid in self._honest_positions()
@@ -375,79 +554,36 @@ class SimulationEngine:
                     detected=detected,
                 )
 
-            # Communicate.
+            # Communicate / observe.
             self._algorithm.on_round_start(round_index)
-            observations = self._communicate(snapshot, round_index)
-            self._notify("on_communicate", round_index, observations)
+            observations = self._phase_observe(snapshot, round_index)
 
-            # Compute: collect the decisions of all *active* robots before
-            # applying any (synchronous by default; a semi-synchronous
-            # schedule activates a subset -- inactive robots implicitly
-            # stay but remain physically present in everyone's packets).
-            active = self._activation.active_robots(
-                round_index, sorted(self._honest_positions())
+            # Activate: the scheduler model picks who wakes this step
+            # (everyone under FSYNC; inactive robots implicitly stay but
+            # remain physically present in everyone's packets).
+            activation, active = self._phase_activate(round_index)
+
+            # Compute.
+            decisions = self._phase_compute(
+                snapshot, round_index, observations, active
             )
-            active = frozenset(active) | (
-                set(self._byzantine) & set(self._positions)
-            )
-            if not set(active) <= set(self._positions):
-                raise SimulationError(
-                    "activation schedule returned robots that are not alive"
-                )
-            if self._positions and not active:
-                raise SimulationError(
-                    "activation schedule returned an empty activation set"
-                )
-            decisions: Dict[int, Decision] = {}
-            for robot_id in sorted(active):
-                policy = self._byzantine.get(robot_id)
-                if policy is not None:
-                    node = self._positions[robot_id]
-                    port = policy.choose_move(
-                        snapshot.degree(node), round_index
-                    )
-                    decisions[robot_id] = (
-                        MoveDecision(port) if port is not None else StayDecision()
-                    )
-                    continue
-                decision = self._algorithm.decide(observations[robot_id])
-                if not isinstance(decision, (StayDecision, MoveDecision)):
-                    raise SimulationError(
-                        f"algorithm returned {decision!r} for robot "
-                        f"{robot_id}; expected StayDecision or MoveDecision"
-                    )
-                decisions[robot_id] = decision
-            self._notify("on_compute", round_index, decisions)
 
             crashed_after = self._apply_crashes(
                 round_index, CrashPhase.AFTER_COMPUTE
             )
 
             # Move: simultaneous application (crashed robots' moves are
-            # discarded; they vanished holding their marching orders).
-            moved = []
+            # discarded; they vanished holding their marching orders),
+            # then settle any earlier pending moves that arrive now.
             new_entry_ports: Dict[int, int] = {}
-            for robot_id in sorted(decisions):
-                if robot_id not in self._positions:
-                    continue
-                decision = decisions[robot_id]
-                if isinstance(decision, MoveDecision):
-                    node = self._positions[robot_id]
-                    if decision.port > snapshot.degree(node):
-                        raise SimulationError(
-                            f"robot {robot_id} chose port {decision.port} "
-                            f"but its node has degree {snapshot.degree(node)}"
-                        )
-                    destination = snapshot.neighbor_via(node, decision.port)
-                    self._positions[robot_id] = destination
-                    new_entry_ports[robot_id] = snapshot.port_of(
-                        destination, node
-                    )
-                    moved.append(robot_id)
+            moved = self._phase_move(
+                snapshot, round_index, decisions, activation, new_entry_ports
+            )
+            moved += self._phase_settle(round_index, new_entry_ports)
             self._entry_ports = new_entry_ports
             total_moves += len(moved)
             self._ever_occupied.update(self._positions.values())
-            moved_tuple = tuple(moved)
+            moved_tuple = tuple(sorted(moved))
             self._notify(
                 "on_move", round_index, moved_tuple, dict(self._positions)
             )
@@ -455,6 +591,9 @@ class SimulationEngine:
             round_bits = self._audit_memory()
             max_bits = max(max_bits, round_bits)
 
+            timeline = not self._scheduler.is_fully_synchronous
+            if timeline:
+                self._last_epoch = activation.epoch
             if self._observers:
                 record = RoundRecord(
                     round_index=round_index,
@@ -474,13 +613,17 @@ class SimulationEngine:
                     snapshot=(
                         snapshot if self._collect_snapshots else None
                     ),
+                    epoch=activation.epoch if timeline else None,
+                    activated_robots=(
+                        tuple(sorted(active)) if timeline else None
+                    ),
                 )
                 self._notify("on_round_end", record)
             round_index += 1
 
         reason = (
             TerminationReason.DISPERSED
-            if self._is_dispersed()
+            if self._is_dispersed() and not self._pending_moves
             else TerminationReason.ROUND_LIMIT
         )
         return self._result(
@@ -516,6 +659,7 @@ class SimulationEngine:
             max_persistent_bits=max_bits,
             records=records,
             algorithm_detected_termination=detected,
+            final_epoch=self._last_epoch,
         )
         self._notify("on_run_end", result)
         return result

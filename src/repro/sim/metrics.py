@@ -69,6 +69,16 @@ class RoundRecord:
     """The round's graph ``G_r``; populated only when the engine runs with
     ``collect_snapshots=True`` (used by post-hoc invariant verification)."""
 
+    epoch: Optional[int] = None
+    """Logical time of this step under a non-fully-synchronous scheduler
+    model (the step index under SSYNC, the event-queue clock under
+    ASYNC).  ``None`` in FSYNC runs, whose records keep the paper's
+    plain form."""
+
+    activated_robots: Optional[Tuple[int, ...]] = None
+    """Robots activated this step (sorted), recorded only under a
+    non-fully-synchronous scheduler model; ``None`` in FSYNC runs."""
+
     @property
     def newly_occupied(self) -> FrozenSet[int]:
         """Nodes occupied at round end that were empty at round start."""
@@ -115,6 +125,23 @@ class RunResult:
     algorithm_detected_termination: bool = False
     """Whether the robots themselves detected completion (vs. only the
     engine's ground-truth stop)."""
+
+    final_epoch: Optional[int] = None
+    """Logical time of the last executed step under a
+    non-fully-synchronous scheduler model; ``None`` in FSYNC runs
+    (where logical time and the round counter coincide)."""
+
+    def activation_timeline(self) -> List[Tuple[int, Tuple[int, ...]]]:
+        """Per-step ``(epoch, activated robots)`` pairs, oldest first.
+
+        Empty for FSYNC runs (every robot is active every round) and for
+        runs executed with ``collect_records=False``.
+        """
+        return [
+            (r.epoch, r.activated_robots)
+            for r in self.records
+            if r.epoch is not None and r.activated_robots is not None
+        ]
 
     @property
     def dispersed(self) -> bool:

@@ -3,8 +3,8 @@
 A :class:`RunSpec` is pure data: it names every ingredient of one
 simulation run -- the dynamic-graph factory and its parameters, the
 initial placement, the algorithm, the communication/sensing model, crash
-and byzantine schedules, the activation schedule, the master seed and the
-engine knobs -- without holding any live object.  That buys three things
+and byzantine schedules, the scheduler model / activation schedule, the
+master seed and the engine knobs -- without holding any live object.  That buys three things
 at once:
 
 * **reconstruction** -- ``execute(spec)`` builds the exact engine the ~10
@@ -21,7 +21,8 @@ at once:
 
 Factories are looked up by name in extensible registries
 (:func:`register_graph`, :func:`register_algorithm`,
-:func:`register_byzantine`, :func:`register_activation`); the library's
+:func:`register_byzantine`, :func:`register_activation`,
+:func:`register_scheduler`); the library's
 own graph processes, algorithms, ablation variants, baselines and attack
 policies are pre-registered lazily on first resolution, so downstream
 code can add its own without import-order gymnastics.
@@ -71,6 +72,7 @@ _GRAPH_FACTORIES: Dict[str, Callable] = {}
 _ALGORITHM_FACTORIES: Dict[str, Callable] = {}
 _BYZANTINE_FACTORIES: Dict[str, Callable] = {}
 _ACTIVATION_FACTORIES: Dict[str, Callable] = {}
+_SCHEDULER_FACTORIES: Dict[str, Callable] = {}
 _DEFAULTS_LOADED = False
 
 
@@ -104,6 +106,14 @@ def register_byzantine(name: str, factory: Optional[Callable] = None) -> Callabl
     return factory
 
 
+def register_scheduler(name: str, factory: Optional[Callable] = None) -> Callable:
+    """Register a scheduler-model factory ``params -> SchedulerModel``."""
+    if factory is None:
+        return lambda fn: register_scheduler(name, fn)
+    _SCHEDULER_FACTORIES[name] = factory
+    return factory
+
+
 def register_activation(name: str, factory: Optional[Callable] = None) -> Callable:
     """Register ``factory(params) -> ActivationSchedule`` under ``name``."""
     if factory is None:
@@ -120,6 +130,7 @@ def registered_components() -> Dict[str, List[str]]:
         "algorithm": sorted(_ALGORITHM_FACTORIES),
         "byzantine": sorted(_BYZANTINE_FACTORIES),
         "activation": sorted(_ACTIVATION_FACTORIES),
+        "scheduler": sorted(_SCHEDULER_FACTORIES),
     }
 
 
@@ -329,6 +340,7 @@ class RunSpec:
     crash: Optional[CrashSpec] = None
     byzantine: Mapping[int, ComponentSpec] = field(default_factory=dict)
     activation: Optional[ComponentSpec] = None
+    scheduler: Optional[ComponentSpec] = None
     seed: int = 0
     max_rounds: Optional[int] = None
     collect_records: bool = True
@@ -342,6 +354,12 @@ class RunSpec:
             raise SpecError(
                 f"communication must be 'global' or 'local', got "
                 f"{self.communication!r}"
+            )
+        if self.scheduler is not None and self.activation is not None:
+            raise SpecError(
+                "a spec takes either 'scheduler' or 'activation', not both "
+                "(an activation component is shorthand for the ssync "
+                "scheduler with that policy)"
             )
 
     @property
@@ -386,6 +404,10 @@ class RunSpec:
             }
         if self.activation is not None:
             data["activation"] = self.activation.to_dict()
+        # Omitted when None (the FSYNC default) so pre-scheduler specs --
+        # and their content digests -- are byte-identical.
+        if self.scheduler is not None:
+            data["scheduler"] = self.scheduler.to_dict()
         if self.max_rounds is not None:
             data["max_rounds"] = self.max_rounds
         if self.label:
@@ -403,6 +425,7 @@ class RunSpec:
             )
         crash = data.get("crash")
         activation = data.get("activation")
+        scheduler = data.get("scheduler")
         return cls(
             graph=ComponentSpec.from_dict(data["graph"]),
             placement=PlacementSpec.from_dict(data["placement"]),
@@ -421,6 +444,10 @@ class RunSpec:
             activation=(
                 ComponentSpec.from_dict(activation)
                 if activation is not None else None
+            ),
+            scheduler=(
+                ComponentSpec.from_dict(scheduler)
+                if scheduler is not None else None
             ),
             seed=int(data.get("seed", 0)),
             max_rounds=data.get("max_rounds"),
@@ -606,6 +633,12 @@ def build_engine(spec: RunSpec, *, observers: Sequence[Any] = ()) -> Any:
         )
         if spec.activation is not None else None
     )
+    scheduler = (
+        _lookup(_SCHEDULER_FACTORIES, "scheduler", spec.scheduler.name)(
+            dict(spec.scheduler.params)
+        )
+        if spec.scheduler is not None else None
+    )
     return SimulationEngine(
         dynamic_graph,
         robots,
@@ -619,6 +652,7 @@ def build_engine(spec: RunSpec, *, observers: Sequence[Any] = ()) -> Any:
         validate_graphs=spec.validate_graphs,
         allow_model_mismatch=spec.allow_model_mismatch,
         activation_schedule=activation,
+        scheduler=scheduler,
         byzantine_policies=byzantine or None,
         observers=observers,
     )
@@ -676,9 +710,12 @@ def _load_default_components() -> None:
         ScrambleNeighbors,
     )
     from repro.sim.scheduling import (
+        AsyncScheduler,
+        FsyncScheduler,
         FullActivation,
         RandomSubsetActivation,
         RoundRobinActivation,
+        SsyncScheduler,
     )
 
     # -- graphs --------------------------------------------------------
@@ -803,4 +840,29 @@ def _load_default_components() -> None:
     register_activation(
         "round_robin",
         lambda params: RoundRobinActivation(int(params["window"])),
+    )
+
+    # -- scheduler models ----------------------------------------------
+    def _ssync_scheduler(params: Dict[str, Any]) -> SsyncScheduler:
+        params = dict(params)
+        policy_name = str(params.pop("policy", "full"))
+        policy = _lookup(_ACTIVATION_FACTORIES, "activation", policy_name)(
+            params
+        )
+        return SsyncScheduler(policy)
+
+    register_scheduler("fsync", lambda params: FsyncScheduler())
+    register_scheduler("ssync", _ssync_scheduler)
+    register_scheduler(
+        "async",
+        lambda params: AsyncScheduler(
+            seed=int(params.get("seed", 0)),
+            distribution=str(params.get("distribution", "uniform")),
+            max_delay=int(params.get("max_delay", 4)),
+            p=float(params.get("p", 0.5)),
+            move_max_delay=int(params.get("move_max_delay", 0)),
+            laggards=tuple(
+                int(r) for r in params.get("laggards", ())
+            ),
+        ),
     )

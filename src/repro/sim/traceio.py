@@ -132,8 +132,14 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
         }
         if record.snapshot is not None:
             entry["snapshot"] = snapshot_to_dict(record.snapshot)
+        # Scheduler-timeline fields are emitted only when present so
+        # FSYNC exports stay byte-identical to the historical format.
+        if record.epoch is not None:
+            entry["epoch"] = record.epoch
+        if record.activated_robots is not None:
+            entry["activated"] = list(record.activated_robots)
         records.append(entry)
-    return {
+    payload: Dict[str, Any] = {
         "format_version": FORMAT_VERSION,
         "kind": "run_result",
         "reason": result.reason.value,
@@ -153,10 +159,15 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
         "algorithm_detected_termination": result.algorithm_detected_termination,
         "records": records,
     }
+    if result.final_epoch is not None:
+        payload["final_epoch"] = result.final_epoch
+    return payload
 
 
 def _record_from_dict(data: Dict[str, Any]) -> RoundRecord:
     snapshot = data.get("snapshot")
+    epoch = data.get("epoch")
+    activated = data.get("activated")
     return RoundRecord(
         round_index=int(data["round"]),
         positions_before={
@@ -180,6 +191,12 @@ def _record_from_dict(data: Dict[str, Any]) -> RoundRecord:
         max_persistent_bits=int(data["max_persistent_bits"]),
         snapshot=(
             snapshot_from_dict(snapshot) if snapshot is not None else None
+        ),
+        epoch=int(epoch) if epoch is not None else None,
+        activated_robots=(
+            tuple(int(r) for r in activated)
+            if activated is not None
+            else None
         ),
     )
 
@@ -224,6 +241,11 @@ def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
             ],
             algorithm_detected_termination=bool(
                 data["algorithm_detected_termination"]
+            ),
+            final_epoch=(
+                int(data["final_epoch"])
+                if data.get("final_epoch") is not None
+                else None
             ),
         )
     except (KeyError, TypeError, ValueError) as exc:

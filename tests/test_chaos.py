@@ -86,6 +86,31 @@ class TestFaultPlan:
         with pytest.raises(PlanError, match="JSON"):
             FaultPlan.from_json("{nope")
 
+    def test_runner_fault_requires_exactly_one_address(self):
+        with pytest.raises(PlanError, match="exactly one"):
+            RunnerFault(kind="crash")
+        with pytest.raises(PlanError, match="exactly one"):
+            RunnerFault(kind="crash", unit_index=1, spec_digest="ab12")
+        with pytest.raises(PlanError, match="non-empty"):
+            RunnerFault(kind="crash", spec_digest="")
+
+    def test_digest_addressed_fault_round_trips(self):
+        plan = FaultPlan(
+            seed=2,
+            runner=(RunnerFault(kind="crash", spec_digest="ab12cd34"),),
+        )
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        assert again.runner[0].spec_digest == "ab12cd34"
+        assert again.runner[0].unit_index is None
+        # each addressing mode serializes only its own field, so
+        # index-addressed plans keep their historical digests
+        assert "spec_digest" not in RunnerFault("crash", 1).to_dict()
+        assert "unit_index" not in plan.runner[0].to_dict()
+        assert plan_digest(plan) != plan_digest(
+            FaultPlan(seed=2, runner=(RunnerFault("crash", 0),))
+        )
+
     def test_failure_record_round_trip_and_order(self):
         records = [
             FailureRecord(unit=3, attempt=1, kind="timeout", detail="b"),
@@ -190,6 +215,42 @@ class TestChaosPoolRunner:
         ]
         assert [(r.unit, r.kind) for r in pool.failure_records] == [
             (1, "engine")
+        ]
+
+    def test_digest_addressed_plan_is_chunksize_portable(self, tmp_path):
+        """The same digest-addressed plan yields identical results and an
+        identical failure stream under chunksize=1 and chunksize=3: the
+        fault follows the spec into whatever unit contains it, and the
+        stream records the spec's global index as the canonical unit."""
+        from repro.sim.spec import spec_digest
+
+        specs = _grid(6)
+        # Disjoint fault windows (separate run() calls), per the plan
+        # contract: concurrent breakage windows race over attempt
+        # numbers regardless of addressing mode.
+        plan = FaultPlan(
+            seed=4,
+            runner=(
+                RunnerFault("crash", spec_digest=spec_digest(specs[1])),
+                RunnerFault("transient", spec_digest=spec_digest(specs[4])),
+            ),
+        )
+        serial = [run_result_to_dict(r) for r in SerialRunner().run(specs)]
+        streams = []
+        for chunksize in (1, 3):
+            with ChaosPoolRunner(
+                plan,
+                tmp_path / f"claims-{chunksize}",
+                max_workers=2,
+                chunksize=chunksize,
+            ) as pool:
+                results = pool.run(specs[:3]) + pool.run(specs[3:])
+            assert [run_result_to_dict(r) for r in results] == serial
+            streams.append(pool.failure_records)
+        assert streams[0] == streams[1]
+        assert [(r.unit, r.kind) for r in streams[0]] == [
+            (1, "crash"),
+            (4, "transient"),
         ]
 
     def test_unit_indices_are_global_across_runs(self, tmp_path):

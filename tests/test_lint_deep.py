@@ -214,6 +214,72 @@ class TestCallGraph:
         )
         assert "pkg.things.Ring.spin" in graph.callees("pkg.things.drive")
 
+    def test_partial_construction_edges_to_wrapped_callable(self, tmp_path):
+        graph = graph_of(
+            tmp_path,
+            {
+                "pkg/things.py": """
+                    import functools
+                    import functools as ft
+                    from functools import partial
+
+                    def make(n):
+                        return n
+
+                    def build_module_form():
+                        return functools.partial(make, 3)
+
+                    def build_alias_form():
+                        return ft.partial(make, 4)
+
+                    def build_name_form():
+                        return partial(make, 5)
+
+                    def build_deferred_form():
+                        from functools import partial as bind
+                        return bind(make, 6)
+                    """,
+            },
+        )
+        for caller in (
+            "pkg.things.build_module_form",
+            "pkg.things.build_alias_form",
+            "pkg.things.build_name_form",
+            "pkg.things.build_deferred_form",
+        ):
+            assert "pkg.things.make" in graph.callees(caller), caller
+
+    def test_partial_passed_to_registrar_registers_wrapped(self, tmp_path):
+        graph = graph_of(
+            tmp_path,
+            {
+                "pkg/registry.py": """
+                    _FACTORIES = {}
+
+                    def register(name, factory):
+                        _FACTORIES[name] = factory
+
+                    def create(name):
+                        return _FACTORIES[name]()
+                    """,
+                "pkg/things.py": """
+                    from functools import partial
+
+                    from pkg.registry import register
+
+                    def make(n):
+                        return n
+
+                    def _load():
+                        register("three", partial(make, 3))
+                    """,
+            },
+        )
+        assert graph.registries["pkg.registry._FACTORIES"] == {
+            "pkg.things.make"
+        }
+        assert "pkg.things.make" in graph.callees("pkg.registry.create")
+
     def test_function_level_deferred_import_resolves(self, tmp_path):
         graph = graph_of(
             tmp_path,
@@ -278,6 +344,36 @@ class TestTaint:
             "-> pkg.util.clock.stamp"
         )
         assert location.endswith("pkg/util/clock.py:4")
+
+    def test_partial_dispatch_chain_fingerprint_is_pinned(self, tmp_path):
+        # Deferring the tainted call through ``functools.partial`` does
+        # not hide it: the resolver sees through the partial and the
+        # T001 chain names the wrapped callable.
+        graph = graph_of(
+            tmp_path,
+            {
+                "pkg/sim/engine.py": """
+                    from functools import partial
+
+                    from pkg.util.clock import stamp
+
+                    def run():
+                        return partial(stamp)
+                    """,
+                "pkg/util/clock.py": """
+                    import time
+
+                    def stamp():
+                        return time.time()
+                    """,
+            },
+        )
+        result = trace_taint_paths(graph)
+        assert len(result.paths) == 1
+        assert result.paths[0].fingerprint == (
+            "T001|pkg.sim.engine.run->pkg.util.clock.stamp"
+            "|wall_clock|time.time"
+        )
 
     def test_direct_seed_in_core_is_not_a_taint_path(self, tmp_path):
         # zero-hop sources are the shallow D-rules' job; T001 only

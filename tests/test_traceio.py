@@ -103,6 +103,35 @@ class TestRunResultExport:
         rounds = [rec["round"] for rec in payload["records"]]
         assert rounds == list(range(len(rounds)))
 
+    def test_fsync_export_has_no_scheduler_fields(self):
+        """FSYNC exports stay byte-identical to the historical format:
+        no epoch/activated keys in records, no final_epoch."""
+        payload = run_result_to_dict(self.run())
+        assert "final_epoch" not in payload
+        for record in payload["records"]:
+            assert "epoch" not in record
+            assert "activated" not in record
+
+    def test_scheduler_timeline_round_trips(self):
+        from repro.sim.scheduling import AsyncScheduler
+        from repro.sim.traceio import run_result_from_dict
+
+        dyn = RandomChurnDynamicGraph(12, extra_edges=5, seed=4)
+        result = SimulationEngine(
+            dyn,
+            RobotSet.rooted(8, 12),
+            DispersionDynamic(),
+            scheduler=AsyncScheduler(seed=6, max_delay=3, move_max_delay=2),
+            max_rounds=20000,
+        ).run()
+        assert result.final_epoch is not None
+        payload = json.loads(json.dumps(run_result_to_dict(result)))
+        restored = run_result_from_dict(payload)
+        assert restored == result
+        assert restored.final_epoch == result.final_epoch
+        assert restored.activation_timeline() == result.activation_timeline()
+        assert restored.activation_timeline()
+
 
 class TestReplay:
     def test_replay_matches(self):
