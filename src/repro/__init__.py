@@ -102,6 +102,7 @@ from repro.sim import (
     CachingRunner,
     ComponentSpec,
     CrashSpec,
+    EngineBackend,
     PlacementSpec,
     ProcessPoolRunner,
     Runner,
@@ -112,19 +113,40 @@ from repro.sim import (
     SpecError,
     execute,
     make_spec,
+    register_backend,
     runner_from_jobs,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
-def run(spec: RunSpec, *, store: "RunStore | None" = None) -> RunResult:
+def _with_backend(spec: RunSpec, backend: "str | ComponentSpec | None") -> RunSpec:
+    """Pin an engine backend on ``spec`` (no-op when ``backend`` is None)."""
+    if backend is None:
+        return spec
+    if isinstance(backend, str):
+        backend = ComponentSpec(backend)
+    return spec.with_(backend=backend)
+
+
+def run(
+    spec: RunSpec,
+    *,
+    store: "RunStore | None" = None,
+    backend: "str | ComponentSpec | None" = None,
+) -> RunResult:
     """Execute one :class:`RunSpec` deterministically.
 
     With ``store`` (a :class:`RunStore`), the run is served from the
     content-addressed cache when stored and written through otherwise --
     the result is identical either way.
+
+    ``backend`` selects the engine backend (``"reference"`` or
+    ``"vectorized"``) without editing the spec by hand; it is applied to
+    the spec *before* the cache lookup, so each backend caches under its
+    own digest.
     """
+    spec = _with_backend(spec, backend)
     if store is not None:
         cached = store.get(spec)
         if cached is not None:
@@ -142,20 +164,23 @@ def sweep(
     store: "RunStore | None" = None,
     timeout: "float | None" = None,
     retries: int = 0,
+    backend: "str | ComponentSpec | None" = None,
 ) -> "list[RunResult]":
     """Execute a grid of :class:`RunSpec` s, in spec order.
 
-    ``jobs`` picks the backend exactly like the CLI's ``--jobs`` (``<=
-    1``: in-process serial; ``N``: a fault-tolerant ``N``-worker process
-    pool; ``-1``: all cores).  ``timeout`` / ``retries`` bound each
-    unit's wall clock and retry budget on the pool.  ``store`` serves
-    hits from and writes misses through a :class:`RunStore`, making
-    interrupted sweeps resumable.
+    ``jobs`` picks the execution runner exactly like the CLI's ``--jobs``
+    (``<= 1``: in-process serial; ``N``: a fault-tolerant ``N``-worker
+    process pool; ``-1``: all cores).  ``timeout`` / ``retries`` bound
+    each unit's wall clock and retry budget on the pool.  ``store``
+    serves hits from and writes misses through a :class:`RunStore`,
+    making interrupted sweeps resumable.  ``backend`` pins an engine
+    backend (``"reference"`` or ``"vectorized"``) on every spec before
+    dispatch, exactly like :func:`run`.
     """
     with runner_from_jobs(
         jobs, timeout=timeout, retries=retries, store=store
     ) as runner:
-        return runner.run(list(specs))
+        return runner.run([_with_backend(s, backend) for s in specs])
 
 __all__ = [
     # graph
@@ -208,6 +233,8 @@ __all__ = [
     "sweep",
     "execute",
     "make_spec",
+    "EngineBackend",
+    "register_backend",
     "RunSpec",
     "ComponentSpec",
     "PlacementSpec",

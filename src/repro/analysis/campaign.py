@@ -154,6 +154,29 @@ class _CountingRunner(Runner):
         return self.inner.run(specs)
 
 
+class _BackendPinningRunner(Runner):
+    """Pins an engine backend on every spec before delegation.
+
+    Wrapping *outside* any :class:`CachingRunner` means the pinned spec
+    is what gets content-hashed, so each engine backend caches under
+    its own digest and never serves the other's entries.
+    """
+
+    name = "backend-pinning"
+
+    def __init__(self, inner: Runner, backend: str) -> None:
+        self.inner = inner
+        self.engine_backend = backend
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Delegate with ``backend=`` pinned on every spec."""
+        pinned = [
+            spec.with_(backend=ComponentSpec(self.engine_backend))
+            for spec in specs
+        ]
+        return self.inner.run(pinned)
+
+
 def _runner_chain(runner: Runner) -> List[Runner]:
     """The runner plus every backend it wraps, outermost first."""
     chain: List[Runner] = []
@@ -561,6 +584,91 @@ def _section_schedulers(scale: str, runner: Runner) -> CampaignSection:
     )
 
 
+def _section_backend_speedup(scale: str, runner: Runner) -> CampaignSection:
+    """E13 -- the vectorized engine backend vs the reference.
+
+    Each grid cell runs the identical spec through both engine backends
+    and compares the results; the verdict is *bit-identicality only*
+    (wall-clock never fails a campaign -- machine load must not flake
+    CI).  The measured speedups ride along in ``data``.  Timing goes
+    through :func:`~repro.sim.spec.execute` directly rather than the
+    campaign runner: a cache hit would time disk I/O, not the engine,
+    and these runs must not skew the campaign's cache hit-rate block.
+    """
+    from repro.sim.spec import execute
+    from repro.sim.traceio import run_result_to_json
+
+    cells = [(96, 72), (192, 144), (384, 288)]
+    if scale == "full":
+        cells.append((512, 384))
+    rows = []
+    ok = True
+    cell_data: List[Dict[str, Any]] = []
+    for index, (n, k) in enumerate(cells):
+        spec = RunSpec(
+            graph=ComponentSpec(
+                "static_family",
+                {"family": "random_dense", "n": n, "seed": 9},
+            ),
+            placement=PlacementSpec(kind="rooted", k=k),
+            # Records only on the smallest cell: they feed the full
+            # trace fingerprint below without slowing the big cells.
+            collect_records=index == 0,
+            label=f"backend speedup n={n} k={k}",
+        )
+        t0 = time.perf_counter()
+        reference = execute(spec)
+        ref_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        vectorized = execute(spec.with_(backend=ComponentSpec("vectorized")))
+        vec_seconds = time.perf_counter() - t0
+        identical = (
+            reference.final_positions == vectorized.final_positions
+            and reference.rounds == vectorized.rounds
+            and reference.total_moves == vectorized.total_moves
+        )
+        if index == 0:
+            identical &= run_result_to_json(
+                reference
+            ) == run_result_to_json(vectorized)
+        ok &= reference.dispersed and identical
+        speedup = (
+            ref_seconds / vec_seconds if vec_seconds > 0 else float("inf")
+        )
+        rows.append(
+            (
+                f"{n}/{k}",
+                f"{ref_seconds:.3f}",
+                f"{vec_seconds:.3f}",
+                f"{speedup:.1f}x",
+                identical,
+            )
+        )
+        cell_data.append(
+            {
+                "n": n,
+                "k": k,
+                "reference_seconds": round(ref_seconds, 6),
+                "vectorized_seconds": round(vec_seconds, 6),
+                "speedup": round(speedup, 3),
+                "identical": identical,
+            }
+        )
+    body = format_table(
+        ("n/k", "reference s", "vectorized s", "speedup", "identical"), rows
+    )
+    return CampaignSection(
+        "E13 -- vectorized engine backend: bit-identical, "
+        "reference-vs-vectorized speedup",
+        body,
+        ok,
+        data={
+            "cells": cell_data,
+            "largest_cell_speedup": cell_data[-1]["speedup"],
+        },
+    )
+
+
 _SECTIONS = (
     _section_algorithm,
     _section_lower_bound,
@@ -572,6 +680,7 @@ _SECTIONS = (
     _section_ring,
     _section_byzantine,
     _section_schedulers,
+    _section_backend_speedup,
 )
 
 
@@ -580,6 +689,7 @@ def run_campaign(
     *,
     runner: Optional[Runner] = None,
     store: Optional[RunStore] = None,
+    backend: Optional[str] = None,
 ) -> CampaignReport:
     """Execute every experiment at the given scale; see module docstring.
 
@@ -589,25 +699,32 @@ def run_campaign(
     the report then carries a ``cache`` block with hit/miss/recomputed
     counts for this invocation.  (A ``runner`` that is already a
     :class:`CachingRunner` is introspected instead of re-wrapped.)
+    ``backend`` pins an *engine* backend (``"reference"`` or
+    ``"vectorized"``) on every campaign spec; the pinning happens
+    before content hashing, so each engine backend has its own cache
+    namespace.
     """
     if scale not in ("quick", "full"):
         raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
-    backend = runner or SerialRunner()
-    caching = _find_caching_runner(backend)
+    base_runner = runner or SerialRunner()
+    caching = _find_caching_runner(base_runner)
     if store is not None and not (
         caching is not None and caching.store.same_target(store)
     ):
-        backend = CachingRunner(backend, store)
-        caching = backend
+        base_runner = CachingRunner(base_runner, store)
+        caching = base_runner
+    runner_name = base_runner.name
+    if backend is not None:
+        base_runner = _BackendPinningRunner(base_runner, backend)
     cache_store = caching.store if caching is not None else None
     hits_before = cache_store.hits if cache_store is not None else 0
     misses_before = cache_store.misses if cache_store is not None else 0
     corrupt_before = cache_store.corrupt if cache_store is not None else 0
-    failures_before = Counter(_collect_failure_records(backend))
-    report = CampaignReport(scale=scale, backend=backend.name)
+    failures_before = Counter(_collect_failure_records(base_runner))
+    report = CampaignReport(scale=scale, backend=runner_name)
     t_campaign = time.perf_counter()
     for build_section in _SECTIONS:
-        counting = _CountingRunner(backend)
+        counting = _CountingRunner(base_runner)
         t_section = time.perf_counter()
         section = build_section(scale, counting)
         section.seconds = time.perf_counter() - t_section
@@ -623,8 +740,8 @@ def run_campaign(
             "corrupt_entries": cache_store.corrupt - corrupt_before,
         }
     # Only the records new since this invocation started: a reused
-    # backend (e.g. a chaos replay's warm pass) keeps accumulating.
-    new_records = Counter(_collect_failure_records(backend)) - failures_before
+    # runner (e.g. a chaos replay's warm pass) keeps accumulating.
+    new_records = Counter(_collect_failure_records(base_runner)) - failures_before
     report.failures = [
         record.to_dict() for record in sorted(new_records.elements())
     ]

@@ -51,6 +51,52 @@ from repro.sim.runner import runner_from_jobs
 from repro.sim.store import RunStore
 
 
+def _component_name(kind: str):
+    """An argparse ``type=`` validator resolving ``kind`` registry names.
+
+    Unknown names fail fast at parse time, listing every registered
+    component of that kind, so a typo'd ``--backend vectorised`` never
+    reaches the engine.
+    """
+
+    def validate(name: str) -> str:
+        from repro.sim.spec import registered_components
+
+        known = registered_components()[kind]
+        if name not in known:
+            raise argparse.ArgumentTypeError(
+                f"unknown {kind} {name!r}; available: {', '.join(known)}"
+            )
+        return name
+
+    validate.__name__ = kind  # argparse error messages say "invalid scheduler"
+    return validate
+
+
+class _ListComponentsAction(argparse.Action):
+    """``--list-backends`` / ``--list-schedulers``: print registry, exit."""
+
+    def __init__(self, option_strings, dest, kind=None, **kwargs):
+        self.kind = kind
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from repro.sim.spec import registered_components
+
+        for name in registered_components()[self.kind]:
+            print(name)
+        parser.exit(0)
+
+
+def _backend_from_args(args: argparse.Namespace):
+    """The EngineBackend instance ``--backend`` asks for, or None."""
+    if not getattr(args, "backend", None):
+        return None
+    from repro.sim.spec import ComponentSpec, build_backend
+
+    return build_backend(ComponentSpec(args.backend))
+
+
 def _add_execution_args(parser: argparse.ArgumentParser, what: str) -> None:
     """The shared execution/caching flags of sweep/faults/campaign."""
     parser.add_argument(
@@ -124,6 +170,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scheduler=scheduler,
         max_rounds=max_rounds,
         observers=[ProgressNarrator()] if args.live else None,
+        backend=_backend_from_args(args),
     ).run()
     print(result.summary())
     if result.final_epoch is not None:
@@ -255,7 +302,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     with runner_from_jobs(
         args.jobs, timeout=args.timeout, retries=args.retries, store=store
     ) as runner:
-        report = run_campaign(scale, runner=runner)
+        report = run_campaign(scale, runner=runner, backend=args.backend)
     print(report.render())
     if args.json:
         with open(args.json, "w") as handle:
@@ -468,6 +515,14 @@ def build_parser() -> argparse.ArgumentParser:
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    parser.add_argument(
+        "--list-backends", action=_ListComponentsAction, kind="backend",
+        help="print the registered engine backends and exit",
+    )
+    parser.add_argument(
+        "--list-schedulers", action=_ListComponentsAction, kind="scheduler",
+        help="print the registered scheduler models and exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="one dispersion run")
@@ -482,10 +537,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-round progress as the run executes",
     )
     p_run.add_argument(
-        "--scheduler", choices=("fsync", "ssync", "async"),
-        default="fsync",
+        "--scheduler", type=_component_name("scheduler"),
+        default="fsync", metavar="NAME",
         help="scheduler model driving the execution (default: fsync, "
-        "the paper's fully synchronous model; see docs/scheduling.md)",
+        "the paper's fully synchronous model; see --list-schedulers "
+        "and docs/scheduling.md)",
+    )
+    p_run.add_argument(
+        "--backend", type=_component_name("backend"),
+        default=None, metavar="NAME",
+        help="engine backend (default: reference; see --list-backends). "
+        "'vectorized' runs the numpy struct-of-arrays fast path, "
+        "bit-identical to the reference",
     )
     p_run.add_argument(
         "--activation-p", type=float, default=0.6,
@@ -530,6 +593,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument(
         "--quick", action="store_true",
         help="alias for --scale quick (the default)",
+    )
+    p_campaign.add_argument(
+        "--backend", type=_component_name("backend"),
+        default=None, metavar="NAME",
+        help="engine backend for every campaign run (default: reference; "
+        "see --list-backends)",
     )
     _add_execution_args(p_campaign, "the campaign's run grids")
     p_campaign.add_argument(

@@ -28,7 +28,20 @@ pin down statically:
   *other* function that references the dict gets edges to every
   registered member.  This is how ``repro.sim.spec.build_graph`` (which
   only ever calls ``_lookup(_GRAPH_FACTORIES, ...)(...)``) acquires
-  edges to each concrete graph factory.
+  edges to each concrete graph factory;
+* **container dispatch**: a module-level tuple/list/set/dict *literal*
+  of resolvable callables (``_SECTIONS = (_section_a, _section_b)``) is
+  treated exactly like a populated registry -- every function that
+  reads the container name gets edges to each member;
+* **attribute-chain dispatch**: ``self.attr.method()`` resolves through
+  per-class attribute-type inference -- any ``self.attr = ClassName(...)``
+  assignment in any method of the class (including ``x or ClassName()``
+  and conditional-expression forms) types the attribute, and the call
+  edges to that class's method *and every indexed subclass override*.
+  This is how the engine's phase loop (which only ever calls
+  ``self._backend.observe(...)`` etc.) acquires edges into both the
+  reference and the vectorized :class:`~repro.sim.backend.EngineBackend`
+  implementations.
 
 Unresolvable calls (stdlib, attribute chains on unknown objects) are
 simply absent from the graph; the taint pass catches their
@@ -238,6 +251,43 @@ class _Resolver:
         return None
 
 
+def _self_attr_assignment(
+    node: ast.AST,
+) -> Tuple[Optional[str], Optional[ast.AST], Optional[ast.AST]]:
+    """Decompose a ``self.attr = value`` statement (plain or annotated).
+
+    Returns ``(attr, value, annotation)``; ``attr`` is None when the
+    node is not a single-target attribute store on ``self``.
+    """
+    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+        target: ast.AST = node.targets[0]
+        annotation: Optional[ast.AST] = None
+        value: Optional[ast.AST] = node.value
+    elif isinstance(node, ast.AnnAssign):
+        target = node.target
+        annotation = node.annotation
+        value = node.value
+    else:
+        return None, None, None
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return target.attr, value, annotation
+    return None, None, None
+
+
+def _module_scope_function(module: ModuleInfo) -> FunctionInfo:
+    """A synthetic module-scope caller for resolving literal expressions."""
+    return FunctionInfo(
+        qualname=f"{module.name}.<module>",
+        module=module,
+        node=module.tree,
+        lineno=1,
+    )
+
+
 def _registrar_registries(
     function: FunctionInfo,
 ) -> Set[str]:
@@ -311,8 +361,14 @@ class _GraphBuilder:
         self.registrars: Dict[str, Set[str]] = {}
         #: nested-callable qualname -> imports of its enclosing scope
         self.inherited_imports: Dict[str, Dict[str, str]] = {}
+        #: class qualname -> attribute -> inferred classes of the value
+        self.attr_types: Dict[str, Dict[str, List[ClassInfo]]] = {}
+        #: class qualname -> direct indexed subclasses (lazily built)
+        self._subclass_map: Optional[Dict[str, List[ClassInfo]]] = None
 
     def build(self) -> CallGraph:
+        self._seed_container_registries()
+        self._infer_class_attr_types()
         for function in list(self.index.functions.values()):
             registries = _registrar_registries(function)
             if registries:
@@ -329,6 +385,243 @@ class _GraphBuilder:
             queue.extend(self._walk_function(function))
         self._apply_registry_dispatch()
         return self.graph
+
+    # -- container dispatch --------------------------------------------
+
+    def _seed_container_registries(self) -> None:
+        """Module-level literal containers of callables become registries.
+
+        ``_SECTIONS = (_section_a, _section_b)`` or ``BUILDERS =
+        {"path": _path}`` dispatch exactly like the empty-dict registry
+        idiom, just with the members known statically; marking the name
+        as a registry dict lets :meth:`_apply_registry_dispatch` edge
+        every reader to every member.
+        """
+        for module in self.index.modules.values():
+            for node in module.tree.body:
+                if not (
+                    isinstance(node, ast.Assign) and len(node.targets) == 1
+                ):
+                    continue
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                elements: List[ast.AST]
+                if isinstance(node.value, (ast.Tuple, ast.List, ast.Set)):
+                    elements = list(node.value.elts)
+                elif isinstance(node.value, ast.Dict):
+                    elements = [v for v in node.value.values if v is not None]
+                else:
+                    continue
+                members: Set[str] = set()
+                for element in elements:
+                    member = self._callable_qualname(
+                        _module_scope_function(module), element, _Scope()
+                    )
+                    if member is not None:
+                        members.add(member)
+                if members:
+                    module.registry_dicts.add(target.id)
+                    self.graph.registries.setdefault(
+                        f"{module.name}.{target.id}", set()
+                    ).update(members)
+
+    # -- attribute-chain dispatch --------------------------------------
+
+    def _infer_class_attr_types(self) -> None:
+        """Type ``self.attr`` from constructor assignments in any method.
+
+        The inference is deliberately an over-approximation: every
+        ``self.attr = <expr>`` whose expression contains a resolvable
+        ``ClassName(...)`` call -- directly, behind ``or``/``and``, in a
+        conditional expression, or through a local variable assigned a
+        constructor call earlier in the same body -- contributes a
+        candidate class, as does a resolvable class annotation on
+        ``self.attr: "ClassName" = ...``.
+        """
+        for function in self.index.functions.values():
+            if function.class_name is None:
+                continue
+            own_class = function.module.classes.get(function.class_name)
+            if own_class is None:
+                continue
+            scope = _Scope()
+            nodes = list(iter_own_nodes(function.node))
+            for node in nodes:
+                _collect_local_imports(function.module, node, scope.imports)
+            for node in nodes:
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name) and isinstance(
+                        node.value, ast.Call
+                    ):
+                        resolved = self._resolve_call_target(
+                            function.module, node.value.func, scope, own_class
+                        )
+                        if resolved is not None and resolved[0] == "class":
+                            assert isinstance(resolved[1], ClassInfo)
+                            scope.types[target.id] = resolved[1]
+            for node in nodes:
+                target, value, annotation = _self_attr_assignment(node)
+                if target is None:
+                    continue
+                found: List[ClassInfo] = []
+                if value is not None:
+                    found.extend(
+                        self._constructed_classes(
+                            function.module, value, scope, own_class
+                        )
+                    )
+                if annotation is not None:
+                    cls = self._annotation_class(
+                        function.module, annotation, scope
+                    )
+                    if cls is not None:
+                        found.append(cls)
+                slot = self.attr_types.setdefault(
+                    own_class.qualname, {}
+                ).setdefault(target, [])
+                for cls in found:
+                    if all(c.qualname != cls.qualname for c in slot):
+                        slot.append(cls)
+
+    def _annotation_class(
+        self, module: ModuleInfo, annotation: ast.AST, scope: "_Scope"
+    ) -> Optional[ClassInfo]:
+        """The indexed class an attribute annotation names, if any."""
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(
+                    annotation.value, mode="eval"
+                ).body
+            except SyntaxError:
+                return None
+        dotted = _dotted(annotation)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        resolved: _Resolved = None
+        if parts[0] in scope.imports:
+            resolved = self.resolver.resolve_absolute(
+                ".".join([scope.imports[parts[0]]] + parts[1:])
+            )
+        if resolved is None:
+            resolved = self.resolver.resolve(module, dotted)
+        if resolved is not None and resolved[0] == "class":
+            assert isinstance(resolved[1], ClassInfo)
+            return resolved[1]
+        return None
+
+    def _constructed_classes(
+        self,
+        module: ModuleInfo,
+        expr: ast.AST,
+        scope: "_Scope",
+        own_class: Optional[ClassInfo],
+    ) -> List[ClassInfo]:
+        """Classes constructed anywhere in an assigned expression."""
+        candidates: List[ast.AST] = [expr]
+        if isinstance(expr, ast.BoolOp):
+            candidates = list(expr.values)
+        elif isinstance(expr, ast.IfExp):
+            candidates = [expr.body, expr.orelse]
+        found: List[ClassInfo] = []
+        for candidate in candidates:
+            if isinstance(candidate, ast.Name):
+                if candidate.id in scope.types:
+                    found.append(scope.types[candidate.id])
+                continue
+            if not isinstance(candidate, ast.Call):
+                continue
+            resolved = self._resolve_call_target(
+                module, candidate.func, scope, own_class
+            )
+            if resolved is not None and resolved[0] == "class":
+                assert isinstance(resolved[1], ClassInfo)
+                found.append(resolved[1])
+        return found
+
+    def _attr_candidate_classes(
+        self, cls: ClassInfo, attr: str, seen: Optional[Set[str]] = None
+    ) -> List[ClassInfo]:
+        """Inferred classes of ``self.attr`` on ``cls`` or its bases."""
+        seen = set() if seen is None else seen
+        if cls.qualname in seen:
+            return []
+        seen.add(cls.qualname)
+        found = list(self.attr_types.get(cls.qualname, {}).get(attr, []))
+        for base in cls.bases:
+            resolved = self.resolver.resolve(cls.module, base)
+            if (
+                resolved is not None
+                and resolved[0] == "class"
+                and isinstance(resolved[1], ClassInfo)
+            ):
+                found.extend(
+                    self._attr_candidate_classes(resolved[1], attr, seen)
+                )
+        return found
+
+    def _subclasses_of(self, cls: ClassInfo) -> List[ClassInfo]:
+        """Every indexed transitive subclass of ``cls``."""
+        if self._subclass_map is None:
+            direct: Dict[str, List[ClassInfo]] = {}
+            for candidate in self.index.classes.values():
+                for base in candidate.bases:
+                    resolved = self.resolver.resolve(candidate.module, base)
+                    if (
+                        resolved is not None
+                        and resolved[0] == "class"
+                        and isinstance(resolved[1], ClassInfo)
+                    ):
+                        direct.setdefault(
+                            resolved[1].qualname, []
+                        ).append(candidate)
+            self._subclass_map = direct
+        found: List[ClassInfo] = []
+        queue = list(self._subclass_map.get(cls.qualname, []))
+        seen: Set[str] = set()
+        while queue:
+            sub = queue.pop(0)
+            if sub.qualname in seen:
+                continue
+            seen.add(sub.qualname)
+            found.append(sub)
+            queue.extend(self._subclass_map.get(sub.qualname, []))
+        return found
+
+    def _attribute_dispatch_targets(
+        self,
+        func_expr: ast.AST,
+        own_class: Optional[ClassInfo],
+    ) -> List[FunctionInfo]:
+        """The methods a ``self.attr.method()`` call can land in.
+
+        Over-approximates over both the inferred attribute classes and
+        their indexed subclasses, which is what lets a registry-selected
+        implementation (the engine's pluggable backend) stay visible to
+        the taint pass.
+        """
+        if own_class is None or not isinstance(func_expr, ast.Attribute):
+            return []
+        receiver = func_expr.value
+        if not (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id in ("self", "cls")
+        ):
+            return []
+        targets: List[FunctionInfo] = []
+        for cls in self._attr_candidate_classes(own_class, receiver.attr):
+            for impl in [cls, *self._subclasses_of(cls)]:
+                method = self.resolver.resolve_method(impl, func_expr.attr)
+                if method is not None and all(
+                    method.qualname != t.qualname for t in targets
+                ):
+                    targets.append(method)
+        return targets
 
     # -- per-function walk ---------------------------------------------
 
@@ -486,6 +779,10 @@ class _GraphBuilder:
         own_class: Optional[ClassInfo],
     ) -> None:
         site = CallSite(node.lineno, node.col_offset + 1)
+        # ``self.attr.method()``: dispatch through the inferred attribute
+        # type(s), covering every indexed subclass override.
+        for method in self._attribute_dispatch_targets(node.func, own_class):
+            self.graph.add_edge(function.qualname, method.qualname, site)
         resolved = self._resolve_call_target(
             function.module, node.func, scope, own_class
         )

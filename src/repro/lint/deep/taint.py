@@ -27,7 +27,8 @@ on the seed line and on the root call-site line of a reported chain.
 
 :func:`trace_taint_paths` then runs a forward BFS from every function
 defined in the deterministic core (``sim/engine.py``,
-``sim/algorithm.py`` and the digest path in ``sim/spec.py`` /
+``sim/algorithm.py``, the engine backends in ``sim/backend.py`` /
+``sim/backend_vectorized.py``, and the digest path in ``sim/spec.py`` /
 ``sim/store.py``) and reports, per (core function, seeded function)
 pair, the shortest call chain connecting them.  Direct in-function
 seeds (chain of length zero) are the shallow rules' business and are
@@ -52,6 +53,8 @@ from repro.lint.rules import path_in_scope
 CORE_PATHS: Tuple[str, ...] = (
     "sim/engine.py",
     "sim/algorithm.py",
+    "sim/backend.py",
+    "sim/backend_vectorized.py",
     "sim/spec.py",
     "sim/store.py",
 )

@@ -23,12 +23,14 @@ from repro.sim.observation import (
     build_observations,
 )
 from repro.sim.algorithm import RobotAlgorithm, StayDecision, MoveDecision, Decision
+from repro.sim.backend import EngineBackend, ReferenceBackend
 from repro.sim.metrics import RoundRecord, RunResult, TerminationReason
 from repro.sim.engine import SimulationEngine, SimulationError
 from repro.sim.invariants import verify_run
 from repro.sim.traceio import (
     dynamic_graph_to_script,
     replay_and_verify,
+    run_fingerprint,
     run_result_from_dict,
     run_result_to_dict,
     run_result_to_json,
@@ -63,12 +65,14 @@ from repro.sim.spec import (
     PlacementSpec,
     RunSpec,
     SpecError,
+    build_backend,
     build_engine,
     canonical_spec_json,
     execute,
     make_spec,
     register_activation,
     register_algorithm,
+    register_backend,
     register_byzantine,
     register_graph,
     register_scheduler,
@@ -106,6 +110,8 @@ __all__ = [
     "TerminationReason",
     "SimulationEngine",
     "SimulationError",
+    "EngineBackend",
+    "ReferenceBackend",
     "ActivationSchedule",
     "FullActivation",
     "RandomSubsetActivation",
@@ -127,10 +133,12 @@ __all__ = [
     "RunSpec",
     "SpecError",
     "make_spec",
+    "build_backend",
     "build_engine",
     "execute",
     "register_graph",
     "register_algorithm",
+    "register_backend",
     "register_byzantine",
     "register_activation",
     "register_scheduler",
@@ -148,6 +156,7 @@ __all__ = [
     "StoreStats",
     "default_cache_dir",
     "execute_through_store",
+    "run_fingerprint",
     "run_result_from_dict",
     "verify_run",
     "dynamic_graph_to_script",

@@ -24,16 +24,18 @@ FSYNC (the paper's model, the default, byte-identical to the historical
 synchronous loop), SSYNC (an activation policy picks a subset per step)
 or ASYNC (a seeded event-queue scheduler).  See ``docs/scheduling.md``.
 
-The engine owns the ground truth and uses it for termination detection,
+*How* each phase executes is delegated to an
+:class:`~repro.sim.backend.EngineBackend` (default: the pure-Python
+``reference`` backend, byte-identical to the historical engine; the
+``vectorized`` backend swaps in numpy struct-of-arrays kernels).  The
+engine owns the ground truth and uses it for termination detection,
 validation, and metrics; algorithms never receive it.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import (
     TYPE_CHECKING,
-    Callable,
     Dict,
     FrozenSet,
     Mapping,
@@ -47,20 +49,15 @@ from typing import (
 from repro.graph.dynamic import DynamicGraph, RoundContext
 from repro.graph.validation import validate_snapshot
 from repro.robots.faults import CrashPhase, CrashSchedule
-from repro.sim.hooks import CallbackObserver, EngineObserver, TraceCollector
+from repro.sim.hooks import EngineObserver, TraceCollector
 
 if TYPE_CHECKING:  # pragma: no cover - circular-import guard (annotations)
     from repro.robots.byzantine import ByzantinePolicy
-from repro.robots.memory import bits_for_state
+    from repro.sim.backend import EngineBackend
 from repro.robots.robot import RobotSet
-from repro.sim.algorithm import Decision, MoveDecision, RobotAlgorithm, StayDecision
+from repro.sim.algorithm import Decision, RobotAlgorithm
 from repro.sim.metrics import RoundRecord, RunResult, TerminationReason
-from repro.sim.observation import (
-    CommunicationModel,
-    InfoPacket,
-    build_info_packets,
-    observations_from_packets,
-)
+from repro.sim.observation import CommunicationModel
 from repro.sim.scheduling import (
     Activation,
     ActivationSchedule,
@@ -109,12 +106,13 @@ class SimulationEngine:
         bound well above O(k).
     collect_records:
         Set False to skip per-round records in large benchmark sweeps.
-    round_observers:
-        **Deprecated** legacy per-round callbacks ``callable(RoundRecord)``;
-        still adapted onto the observer layer (via
-        :class:`~repro.sim.hooks.CallbackObserver`) but emits a
-        ``DeprecationWarning`` -- pass
-        ``observers=[CallbackObserver(fn)]`` instead.
+    backend:
+        The :class:`~repro.sim.backend.EngineBackend` executing the phase
+        primitives (default: a fresh ``ReferenceBackend``).  Alternative
+        backends must be bit-identical to the reference on the same
+        configuration.  (The former ``round_observers`` parameter --
+        deprecated since the observer layer landed -- has been removed;
+        pass ``observers=[CallbackObserver(fn)]`` instead.)
     observers:
         :class:`~repro.sim.hooks.EngineObserver` instances receiving the
         per-phase instrumentation hooks (round start / communicate /
@@ -138,9 +136,7 @@ class SimulationEngine:
         activation_schedule: Optional[ActivationSchedule] = None,
         scheduler: Optional[SchedulerModel] = None,
         byzantine_policies: Optional[Mapping[int, "ByzantinePolicy"]] = None,
-        round_observers: Optional[
-            Sequence[Callable[[RoundRecord], None]]
-        ] = None,
+        backend: Optional["EngineBackend"] = None,
         observers: Optional[Sequence[EngineObserver]] = None,
     ) -> None:
         if isinstance(robots, RobotSet):
@@ -203,18 +199,8 @@ class SimulationEngine:
         self._collect_snapshots = collect_snapshots
         self._validate_graphs = validate_graphs
         self._scheduler = scheduler
-        # Phase observers: new-style EngineObservers plus legacy plain
-        # callables (adapted).  Trace capture is itself an observer.
+        # Phase observers; trace capture is itself an observer.
         hooks: list = list(observers or ())
-        if round_observers:
-            warnings.warn(
-                "the round_observers engine parameter is deprecated; pass "
-                "observers=[CallbackObserver(fn), ...] (repro.sim.hooks) "
-                "instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        hooks += [CallbackObserver(fn) for fn in (round_observers or ())]
         self._trace: Optional[TraceCollector] = (
             TraceCollector() if collect_records else None
         )
@@ -232,6 +218,7 @@ class SimulationEngine:
 
         self._n = dynamic_graph.n
         self._k = len(initial_positions)
+        self._validated_snapshot: Optional[object] = None
         self._positions: Dict[int, int] = dict(initial_positions)
         self._crashed: Set[int] = set()
         self._entry_ports: Dict[int, int] = {}
@@ -250,6 +237,18 @@ class SimulationEngine:
         if max_rounds < 0:
             raise ValueError("max_rounds must be >= 0")
         self._max_rounds = max_rounds
+
+        if backend is None:
+            from repro.sim.backend import ReferenceBackend
+
+            backend = ReferenceBackend()
+        self._backend: "EngineBackend" = backend
+        self._backend.bind(self)
+
+    @property
+    def backend(self) -> "EngineBackend":
+        """The phase-execution backend driving this engine."""
+        return self._backend
 
     # ------------------------------------------------------------------
     # Ground-truth helpers
@@ -305,58 +304,12 @@ class SimulationEngine:
         return tuple(victims)
 
     def _audit_memory(self) -> int:
-        """Peak persistent bits across alive honest robots, right now.
-
-        Byzantine robots are adversarial and unbounded; auditing them
-        would be meaningless.
-        """
-        bounds = self._algorithm.persistent_state_bounds(self._k, self._n)
-        peak = 0
-        for robot_id in self._honest_positions():
-            state = self._algorithm.persistent_state(robot_id)
-            peak = max(peak, bits_for_state(state, bounds=bounds))
-        return peak
-
-    def _communicate(self, snapshot, round_index: int):
-        """Build packets, apply byzantine forgery, deliver observations."""
-        packets = build_info_packets(
-            snapshot,
-            self._positions,
-            neighborhood_knowledge=self._neighborhood_knowledge,
-        )
-        if self._byzantine:
-            forged: Dict[int, InfoPacket] = {}
-            for node, packet in packets.items():
-                policy = self._byzantine.get(packet.representative_id)
-                if policy is not None:
-                    packet = policy.forge_packet(packet, round_index)
-                    if (
-                        packet.representative_id
-                        not in self._positions
-                    ):
-                        raise SimulationError(
-                            "byzantine forgery changed the representative "
-                            "ID; identities are unforgeable in the model"
-                        )
-                forged[node] = packet
-            packets = forged
-        self._packets_broadcast += len(packets)
-        if self._communication is CommunicationModel.GLOBAL:
-            self._packet_deliveries += len(packets) * len(self._positions)
-        else:
-            # local: each robot receives only its own node's packet
-            self._packet_deliveries += len(self._positions)
-        return observations_from_packets(
-            packets,
-            self._positions,
-            round_index,
-            communication=self._communication,
-            neighborhood_knowledge=self._neighborhood_knowledge,
-            entry_ports=self._entry_ports,
-        )
+        """Peak persistent bits across alive honest robots, right now."""
+        return self._backend.audit_memory()
 
     # ------------------------------------------------------------------
-    # Phase primitives
+    # Phase primitives (delegated to the backend; the engine keeps the
+    # observer notifications so backends stay instrumentation-free)
     # ------------------------------------------------------------------
 
     def _notify(self, method: str, *args) -> None:
@@ -373,60 +326,24 @@ class SimulationEngine:
 
     def _phase_observe(self, snapshot, round_index: int):
         """Deliver/observe: build packets and hand out observations."""
-        observations = self._communicate(snapshot, round_index)
+        observations = self._backend.observe(snapshot, round_index)
         self._notify("on_communicate", round_index, observations)
         return observations
 
     def _phase_activate(
         self, round_index: int
     ) -> Tuple[Activation, FrozenSet[int]]:
-        """Ask the scheduler who wakes this step; validate the answer.
-
-        Byzantine robots are appended by the engine itself -- the
-        adversary does not answer to the scheduler -- unless they are
-        mid-traversal.
-        """
-        activation = self._scheduler.next_activation(
-            round_index, self._eligible_robots()
-        )
-        active = frozenset(activation.active) | (
-            (set(self._byzantine) & set(self._positions))
-            - set(self._pending_moves)
-        )
-        if not set(active) <= set(self._positions):
-            raise SimulationError(
-                "activation schedule returned robots that are not alive"
-            )
-        if self._positions and not active and not self._pending_moves:
-            raise SimulationError(
-                "activation schedule returned an empty activation set"
-            )
-        return activation, active
+        """Ask the scheduler who wakes this step; validate the answer."""
+        return self._backend.activate(round_index)
 
     def _phase_compute(
         self, snapshot, round_index: int, observations, active: FrozenSet[int]
     ) -> Dict[int, Decision]:
         """Collect the decisions of all activated robots before applying
         any (decisions within a step are simultaneous)."""
-        decisions: Dict[int, Decision] = {}
-        for robot_id in sorted(active):
-            policy = self._byzantine.get(robot_id)
-            if policy is not None:
-                node = self._positions[robot_id]
-                port = policy.choose_move(
-                    snapshot.degree(node), round_index
-                )
-                decisions[robot_id] = (
-                    MoveDecision(port) if port is not None else StayDecision()
-                )
-                continue
-            decision = self._algorithm.decide(observations[robot_id])
-            if not isinstance(decision, (StayDecision, MoveDecision)):
-                raise SimulationError(
-                    f"algorithm returned {decision!r} for robot "
-                    f"{robot_id}; expected StayDecision or MoveDecision"
-                )
-            decisions[robot_id] = decision
+        decisions = self._backend.compute(
+            snapshot, round_index, observations, active
+        )
         self._notify("on_compute", round_index, decisions)
         return decisions
 
@@ -438,53 +355,16 @@ class SimulationEngine:
         activation: Activation,
         new_entry_ports: Dict[int, int],
     ) -> list:
-        """Apply surviving moves; queue delayed ones as pending.
-
-        The destination and entry port are resolved against the
-        decision-time snapshot even for delayed moves: the robot began
-        traversing the edge as it existed when the move was decided.
-        """
-        moved = []
-        for robot_id in sorted(decisions):
-            if robot_id not in self._positions:
-                continue
-            decision = decisions[robot_id]
-            if isinstance(decision, MoveDecision):
-                node = self._positions[robot_id]
-                if decision.port > snapshot.degree(node):
-                    raise SimulationError(
-                        f"robot {robot_id} chose port {decision.port} "
-                        f"but its node has degree {snapshot.degree(node)}"
-                    )
-                destination = snapshot.neighbor_via(node, decision.port)
-                entry_port = snapshot.port_of(destination, node)
-                delay = activation.move_delays.get(robot_id, 0)
-                if delay > 0:
-                    self._pending_moves[robot_id] = (
-                        round_index + delay,
-                        destination,
-                        entry_port,
-                    )
-                    continue
-                self._positions[robot_id] = destination
-                new_entry_ports[robot_id] = entry_port
-                moved.append(robot_id)
-        return moved
+        """Apply surviving moves; queue delayed ones as pending."""
+        return self._backend.move(
+            snapshot, round_index, decisions, activation, new_entry_ports
+        )
 
     def _phase_settle(
         self, round_index: int, new_entry_ports: Dict[int, int]
     ) -> list:
         """Apply pending moves whose arrival step has come."""
-        arrived = []
-        for robot_id in sorted(self._pending_moves):
-            arrival, destination, entry_port = self._pending_moves[robot_id]
-            if arrival <= round_index:
-                self._positions[robot_id] = destination
-                new_entry_ports[robot_id] = entry_port
-                arrived.append(robot_id)
-        for robot_id in arrived:
-            del self._pending_moves[robot_id]
-        return arrived
+        return self._backend.settle(round_index, new_entry_ports)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -519,10 +399,19 @@ class SimulationEngine:
                 ever_occupied=frozenset(self._ever_occupied),
             )
             snapshot = self._dynamic_graph.snapshot(round_index, context)
-            if self._validate_graphs:
+            # Snapshots are immutable, so validation is a pure function of
+            # the object: a static graph serving the same snapshot every
+            # round is validated once (at its first round) instead of n
+            # times.  Dynamic processes return fresh objects and are
+            # validated every round as before.
+            if (
+                self._validate_graphs
+                and snapshot is not self._validated_snapshot
+            ):
                 validate_snapshot(
                     snapshot, expected_n=self._n, round_index=round_index
                 )
+                self._validated_snapshot = snapshot
             self._notify("on_round_start", round_index, snapshot)
 
             crashed_before = self._apply_crashes(
@@ -604,10 +493,8 @@ class SimulationEngine:
                     crashed_after_compute=crashed_after,
                     occupied_before=occupied_before,
                     occupied_after=frozenset(self._positions.values()),
-                    num_components=len(
-                        snapshot.induced_occupied_components(
-                            occupied_before
-                        )
+                    num_components=self._backend.count_occupied_components(
+                        snapshot, occupied_before
                     ),
                     max_persistent_bits=round_bits,
                     snapshot=(

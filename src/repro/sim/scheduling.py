@@ -41,6 +41,13 @@ a node), which is exactly the degradation the E5 benchmark measures; with
 random activation every configuration still has positive probability of a
 fully-active round, so dispersion remains achieved with probability 1.
 See ``docs/scheduling.md`` for the full model definitions.
+
+Scheduler models are *backend-neutral*: the engine calls them only
+through :class:`~repro.sim.backend.EngineBackend` phase primitives
+(``activate`` validates the model's activation set, ``move``/``settle``
+consume its arrival epochs), so any conforming backend -- reference or
+vectorized -- must produce byte-identical schedules for the same seed
+under all three models.
 """
 
 from __future__ import annotations

@@ -73,6 +73,7 @@ _ALGORITHM_FACTORIES: Dict[str, Callable] = {}
 _BYZANTINE_FACTORIES: Dict[str, Callable] = {}
 _ACTIVATION_FACTORIES: Dict[str, Callable] = {}
 _SCHEDULER_FACTORIES: Dict[str, Callable] = {}
+_BACKEND_FACTORIES: Dict[str, Callable] = {}
 _DEFAULTS_LOADED = False
 
 
@@ -122,6 +123,20 @@ def register_activation(name: str, factory: Optional[Callable] = None) -> Callab
     return factory
 
 
+def register_backend(name: str, factory: Optional[Callable] = None) -> Callable:
+    """Register an engine-backend factory ``params -> EngineBackend``.
+
+    Backends execute the engine's phase primitives (see
+    :mod:`repro.sim.backend`); ``RunSpec(backend=ComponentSpec(name))``
+    or ``cli run --backend name`` selects one per run.  Usable as a
+    decorator (``@register_backend("my_backend")``).
+    """
+    if factory is None:
+        return lambda fn: register_backend(name, fn)
+    _BACKEND_FACTORIES[name] = factory
+    return factory
+
+
 def registered_components() -> Dict[str, List[str]]:
     """The names currently resolvable, by registry kind."""
     _load_default_components()
@@ -131,6 +146,7 @@ def registered_components() -> Dict[str, List[str]]:
         "byzantine": sorted(_BYZANTINE_FACTORIES),
         "activation": sorted(_ACTIVATION_FACTORIES),
         "scheduler": sorted(_SCHEDULER_FACTORIES),
+        "backend": sorted(_BACKEND_FACTORIES),
     }
 
 
@@ -341,6 +357,7 @@ class RunSpec:
     byzantine: Mapping[int, ComponentSpec] = field(default_factory=dict)
     activation: Optional[ComponentSpec] = None
     scheduler: Optional[ComponentSpec] = None
+    backend: Optional[ComponentSpec] = None
     seed: int = 0
     max_rounds: Optional[int] = None
     collect_records: bool = True
@@ -408,6 +425,10 @@ class RunSpec:
         # and their content digests -- are byte-identical.
         if self.scheduler is not None:
             data["scheduler"] = self.scheduler.to_dict()
+        # Omitted when None (the reference default) so pre-backend specs
+        # -- and their content digests -- are byte-identical.
+        if self.backend is not None:
+            data["backend"] = self.backend.to_dict()
         if self.max_rounds is not None:
             data["max_rounds"] = self.max_rounds
         if self.label:
@@ -426,6 +447,7 @@ class RunSpec:
         crash = data.get("crash")
         activation = data.get("activation")
         scheduler = data.get("scheduler")
+        backend = data.get("backend")
         return cls(
             graph=ComponentSpec.from_dict(data["graph"]),
             placement=PlacementSpec.from_dict(data["placement"]),
@@ -448,6 +470,10 @@ class RunSpec:
             scheduler=(
                 ComponentSpec.from_dict(scheduler)
                 if scheduler is not None else None
+            ),
+            backend=(
+                ComponentSpec.from_dict(backend)
+                if backend is not None else None
             ),
             seed=int(data.get("seed", 0)),
             max_rounds=data.get("max_rounds"),
@@ -610,6 +636,12 @@ def build_graph(spec: RunSpec, algorithm: Any) -> Any:
     return factory(params, context)
 
 
+def build_backend(component: ComponentSpec) -> Any:
+    """Construct the spec's :class:`~repro.sim.backend.EngineBackend`."""
+    factory = _lookup(_BACKEND_FACTORIES, "backend", component.name)
+    return factory(dict(component.params))
+
+
 def build_engine(spec: RunSpec, *, observers: Sequence[Any] = ()) -> Any:
     """Materialize the full :class:`~repro.sim.engine.SimulationEngine`."""
     from repro.sim.engine import SimulationEngine
@@ -639,6 +671,9 @@ def build_engine(spec: RunSpec, *, observers: Sequence[Any] = ()) -> Any:
         )
         if spec.scheduler is not None else None
     )
+    backend = (
+        build_backend(spec.backend) if spec.backend is not None else None
+    )
     return SimulationEngine(
         dynamic_graph,
         robots,
@@ -654,6 +689,7 @@ def build_engine(spec: RunSpec, *, observers: Sequence[Any] = ()) -> Any:
         activation_schedule=activation,
         scheduler=scheduler,
         byzantine_policies=byzantine or None,
+        backend=backend,
         observers=observers,
     )
 
@@ -866,3 +902,14 @@ def _load_default_components() -> None:
             ),
         ),
     )
+
+    # -- engine backends -----------------------------------------------
+    from repro.sim.backend import ReferenceBackend
+
+    register_backend("reference", lambda params: ReferenceBackend())
+    try:
+        from repro.sim.backend_vectorized import VectorizedBackend
+    except ImportError:  # pragma: no cover - numpy is a project dep
+        pass  # without numpy only the reference backend is available
+    else:
+        register_backend("vectorized", lambda params: VectorizedBackend())

@@ -20,6 +20,7 @@ process that produced them.  This module provides:
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, Optional
 
@@ -255,6 +256,18 @@ def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
 def run_result_to_json(result: RunResult, *, indent: Optional[int] = None) -> str:
     """JSON string export of a run."""
     return json.dumps(run_result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def run_fingerprint(result: RunResult) -> str:
+    """A stable sha256 hex digest of a run's full serialized trace.
+
+    Two runs fingerprint equal iff their :func:`run_result_to_json`
+    exports are byte-identical -- the equality contract the engine
+    backends are held to (``reference`` vs ``vectorized``) and the
+    check the cross-backend replay tests and benchmark E13 assert.
+    """
+    payload = run_result_to_json(result).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
 
 
 # ---------------------------------------------------------------------------

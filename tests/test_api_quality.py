@@ -29,6 +29,8 @@ PUBLIC_MODULES = [
     "repro.sim",
     "repro.sim.observation",
     "repro.sim.algorithm",
+    "repro.sim.backend",
+    "repro.sim.backend_vectorized",
     "repro.sim.engine",
     "repro.sim.metrics",
     "repro.sim.scheduling",

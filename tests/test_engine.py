@@ -420,50 +420,63 @@ class TestCommunicationMetrics:
 
 
 class TestRoundObservers:
-    """The deprecated ``round_observers=`` path (adapts to phase hooks)."""
+    """``round_observers=`` is removed; CallbackObserver replaces it."""
 
-    def test_observer_sees_every_round(self):
-        seen = []
+    def test_round_observers_parameter_is_removed(self):
         dyn = RandomChurnDynamicGraph(10, extra_edges=4, seed=1)
-        with pytest.warns(DeprecationWarning, match="round_observers"):
-            engine = SimulationEngine(
+        with pytest.raises(TypeError, match="round_observers"):
+            SimulationEngine(
                 dyn,
                 RobotSet.rooted(6, 10),
                 DispersionDynamic(),
-                round_observers=[lambda rec: seen.append(rec.round_index)],
+                round_observers=[lambda rec: None],
             )
+
+    def test_callback_observer_sees_every_round(self):
+        from repro.sim.hooks import CallbackObserver
+
+        seen = []
+        dyn = RandomChurnDynamicGraph(10, extra_edges=4, seed=1)
+        engine = SimulationEngine(
+            dyn,
+            RobotSet.rooted(6, 10),
+            DispersionDynamic(),
+            observers=[CallbackObserver(lambda rec: seen.append(rec.round_index))],
+        )
         result = engine.run()
         assert seen == list(range(result.rounds))
 
-    def test_observer_without_records(self):
+    def test_callback_observer_without_records(self):
         """Observers fire even when per-round records are not retained."""
+        from repro.sim.hooks import CallbackObserver
+
         seen = []
         dyn = RandomChurnDynamicGraph(10, extra_edges=4, seed=1)
-        with pytest.warns(DeprecationWarning, match="round_observers"):
-            engine = SimulationEngine(
-                dyn,
-                RobotSet.rooted(6, 10),
-                DispersionDynamic(),
-                collect_records=False,
-                round_observers=[seen.append],
-            )
+        engine = SimulationEngine(
+            dyn,
+            RobotSet.rooted(6, 10),
+            DispersionDynamic(),
+            collect_records=False,
+            observers=[CallbackObserver(seen.append)],
+        )
         result = engine.run()
         assert result.records == []
         assert len(seen) == result.rounds
         assert all(rec.newly_occupied for rec in seen)
 
     def test_multiple_observers_in_order(self):
+        from repro.sim.hooks import CallbackObserver
+
         order = []
         dyn = RandomChurnDynamicGraph(8, extra_edges=3, seed=2)
-        with pytest.warns(DeprecationWarning, match="round_observers"):
-            engine = SimulationEngine(
-                dyn,
-                RobotSet.rooted(4, 8),
-                DispersionDynamic(),
-                round_observers=[
-                    lambda rec: order.append(("a", rec.round_index)),
-                    lambda rec: order.append(("b", rec.round_index)),
-                ],
-            )
+        engine = SimulationEngine(
+            dyn,
+            RobotSet.rooted(4, 8),
+            DispersionDynamic(),
+            observers=[
+                CallbackObserver(lambda rec: order.append(("a", rec.round_index))),
+                CallbackObserver(lambda rec: order.append(("b", rec.round_index))),
+            ],
+        )
         engine.run()
         assert order[0] == ("a", 0) and order[1] == ("b", 0)

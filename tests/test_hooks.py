@@ -90,26 +90,23 @@ class TestHookSequence:
         assert last_move[3] == dict(result.final_positions)
 
 
-class TestLegacyRoundObservers:
-    def test_callable_observers_still_work(self):
+class TestLegacyRoundObserversRemoved:
+    """``round_observers=`` (deprecated since the hook layer landed) is
+    gone; :class:`~repro.sim.hooks.CallbackObserver` is the migration."""
+
+    def test_round_observers_parameter_is_removed(self):
+        with pytest.raises(TypeError, match="round_observers"):
+            _engine(round_observers=[lambda rec: None])
+
+    def test_callback_observer_is_the_replacement(self):
+        from repro.sim.hooks import CallbackObserver
+
         seen = []
-        with pytest.warns(DeprecationWarning, match="round_observers"):
-            engine = _engine(round_observers=[seen.append])
-        result = engine.run()
+        result = _engine(observers=[CallbackObserver(seen.append)]).run()
         assert [r.round_index for r in seen] == list(range(result.rounds))
         assert [run_result_to_dict_record(r) for r in seen] == [
             run_result_to_dict_record(r) for r in result.records
         ]
-
-    def test_mixing_legacy_and_hook_observers(self):
-        seen = []
-        collector = TraceCollector()
-        with pytest.warns(DeprecationWarning, match="round_observers"):
-            engine = _engine(
-                round_observers=[seen.append], observers=[collector]
-            )
-        result = engine.run()
-        assert len(seen) == len(collector.records) == result.rounds
 
     def test_hook_observers_do_not_warn(self):
         """The replacement API (observers=) builds without a warning."""
@@ -118,7 +115,6 @@ class TestLegacyRoundObservers:
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             _engine(observers=[TraceCollector()])
-            _engine(round_observers=[])  # empty legacy list: no-op, no warn
 
 
 def run_result_to_dict_record(record):

@@ -214,6 +214,74 @@ class TestCallGraph:
         )
         assert "pkg.things.Ring.spin" in graph.callees("pkg.things.drive")
 
+    def test_attribute_chain_dispatch_through_instance_attribute(
+        self, tmp_path
+    ):
+        # ``self.runner.run()`` resolves through the class's inferred
+        # attribute type -- including the ``param or Default()`` idiom
+        # and annotated assignments -- and covers subclass overrides.
+        graph = graph_of(
+            tmp_path,
+            {
+                "pkg/sim/engine.py": """
+                    from pkg.sim.backend import ReferenceBackend
+
+                    class Engine:
+                        def __init__(self, backend=None):
+                            self._backend = backend or ReferenceBackend()
+
+                        def step(self):
+                            return self._backend.observe()
+                    """,
+                "pkg/sim/backend.py": """
+                    class ReferenceBackend:
+                        def observe(self):
+                            return 1
+
+                    class VectorizedBackend(ReferenceBackend):
+                        def observe(self):
+                            return 2
+                    """,
+            },
+        )
+        callees = graph.callees("pkg.sim.engine.Engine.step")
+        assert "pkg.sim.backend.ReferenceBackend.observe" in callees
+        # the registry-selected subclass stays visible to the graph
+        assert "pkg.sim.backend.VectorizedBackend.observe" in callees
+
+    def test_container_of_callables_dispatches_to_members(self, tmp_path):
+        # A module-level literal tuple/dict of callables is a populated
+        # registry: every reader edges to every member.
+        graph = graph_of(
+            tmp_path,
+            {
+                "pkg/sections.py": """
+                    def _alpha():
+                        return 1
+
+                    def _beta():
+                        return 2
+
+                    _SECTIONS = (_alpha, _beta)
+                    BUILDERS = {"alpha": _alpha}
+
+                    def run_all():
+                        return [section() for section in _SECTIONS]
+
+                    def pick(name):
+                        return BUILDERS[name]()
+                    """,
+            },
+        )
+        assert graph.registries["pkg.sections._SECTIONS"] == {
+            "pkg.sections._alpha",
+            "pkg.sections._beta",
+        }
+        run_all = graph.callees("pkg.sections.run_all")
+        assert "pkg.sections._alpha" in run_all
+        assert "pkg.sections._beta" in run_all
+        assert "pkg.sections._alpha" in graph.callees("pkg.sections.pick")
+
     def test_partial_construction_edges_to_wrapped_callable(self, tmp_path):
         graph = graph_of(
             tmp_path,
@@ -373,6 +441,41 @@ class TestTaint:
         assert result.paths[0].fingerprint == (
             "T001|pkg.sim.engine.run->pkg.util.clock.stamp"
             "|wall_clock|time.time"
+        )
+
+    def test_taint_path_through_backend_attribute_dispatch_is_pinned(
+        self, tmp_path
+    ):
+        # The engine refactor routes every phase through
+        # ``self._backend.<phase>()``; a nondeterministic backend
+        # implementation must still be reachable from the core.
+        graph = graph_of(
+            tmp_path,
+            {
+                "pkg/sim/engine.py": """
+                    from pkg.sim.vec import VectorizedBackend
+
+                    class Engine:
+                        def __init__(self, backend=None):
+                            self._backend = backend or VectorizedBackend()
+
+                        def step(self):
+                            return self._backend.observe()
+                    """,
+                "pkg/sim/vec.py": """
+                    import time
+
+                    class VectorizedBackend:
+                        def observe(self):
+                            return time.time()
+                    """,
+            },
+        )
+        result = trace_taint_paths(graph)
+        assert len(result.paths) == 1
+        assert result.paths[0].fingerprint == (
+            "T001|pkg.sim.engine.Engine.step"
+            "->pkg.sim.vec.VectorizedBackend.observe|wall_clock|time.time"
         )
 
     def test_direct_seed_in_core_is_not_a_taint_path(self, tmp_path):
