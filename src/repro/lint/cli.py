@@ -2,14 +2,16 @@
 
 Exit codes follow the convention of every other gate in CI: ``0`` for a
 clean tree, ``1`` when findings exist, ``2`` for usage errors (unknown
-rule selector, missing path) -- so a misconfigured invocation can never
-masquerade as a passing gate.
+rule selector, missing path) *and* for internal analysis failures -- so
+a misconfigured or crashing invocation can never masquerade as a
+passing gate.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 from typing import List, Optional
 
 from repro.lint.engine import lint_paths
@@ -19,7 +21,7 @@ from repro.lint.reporters import (
     render_text,
 )
 
-#: Default scan roots per mode; deep analysis wants the package tree.
+#: Default scan roots per mode; whole-program modes want the package tree.
 SHALLOW_DEFAULT_PATHS = ["src", "tests", "benchmarks"]
 
 
@@ -30,7 +32,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         nargs="*",
         default=None,
         help="files or directories to lint (default: src tests "
-        "benchmarks; with --deep: src)",
+        "benchmarks; with --deep/--effects: src)",
     )
     parser.add_argument(
         "--json",
@@ -56,41 +58,81 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "propagation + fork-safety) against the accepted baseline",
     )
     parser.add_argument(
+        "--effects",
+        action="store_true",
+        help="run the whole-program effect/contract analysis (engine "
+        "phase, observer hook and spec digest contracts) against its "
+        "accepted baseline",
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         metavar="PATH",
-        help="baseline snapshot for --deep "
-        "(default: lint-deep-baseline.json)",
+        help="baseline snapshot for --deep/--effects (defaults: "
+        "lint-deep-baseline.json / lint-effects-baseline.json)",
     )
     parser.add_argument(
         "--update-baseline",
         action="store_true",
-        help="with --deep: accept the tree's current findings as the "
-        "new baseline and exit 0",
+        help="with --deep/--effects: accept the tree's current findings "
+        "as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="with --deep/--effects: re-parse every module instead of "
+        "consulting the .lint-cache AST cache",
     )
 
 
-def _run_deep(args: argparse.Namespace) -> int:
+def _whole_program_cache(args: argparse.Namespace) -> Optional[object]:
+    """The CLI-default AST cache, unless ``--no-cache`` opted out."""
+    if getattr(args, "no_cache", False):
+        return None
+    import pathlib
+
+    from repro.lint.deep.cache import DEFAULT_CACHE_DIR, ModuleCache
+
+    return ModuleCache(pathlib.Path(DEFAULT_CACHE_DIR))
+
+
+def _run_whole_program(args: argparse.Namespace, effects: bool) -> int:
     from repro.lint.deep import (
         DEEP_DEFAULT_PATHS,
         DEFAULT_BASELINE_PATH,
+        DEFAULT_EFFECTS_BASELINE_PATH,
         BaselineError,
         render_deep_summary,
         run_deep_analysis,
+        run_effects_analysis,
     )
 
     paths = args.paths if args.paths else list(DEEP_DEFAULT_PATHS)
-    baseline = (
-        args.baseline if args.baseline is not None else DEFAULT_BASELINE_PATH
+    default_baseline = (
+        DEFAULT_EFFECTS_BASELINE_PATH if effects else DEFAULT_BASELINE_PATH
     )
+    baseline = (
+        args.baseline if args.baseline is not None else default_baseline
+    )
+    runner = run_effects_analysis if effects else run_deep_analysis
     try:
-        result = run_deep_analysis(
+        result = runner(
             paths,
             baseline_path=baseline,
             update_baseline=args.update_baseline,
+            cache=_whole_program_cache(args),
         )
     except (FileNotFoundError, BaselineError) as error:
         print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    except Exception:
+        # An analyzer crash is an infrastructure failure, not a clean
+        # tree; exit 2 so CI distinguishes it from both outcomes.
+        traceback.print_exc()
+        print(
+            "repro lint: internal error in whole-program analysis",
+            file=sys.stderr,
+        )
         return 2
     if args.json:
         print(render_json(result.report))
@@ -107,21 +149,30 @@ def run_from_args(args: argparse.Namespace) -> int:
     if args.list_rules:
         print(render_rule_catalogue())
         return 0
-    if args.deep and args.select:
+    effects = getattr(args, "effects", False)
+    if args.deep and effects:
         print(
-            "repro lint: --select does not apply to --deep "
-            "(the deep pass is a single analysis)",
+            "repro lint: --deep and --effects are separate passes; "
+            "run them as two invocations",
             file=sys.stderr,
         )
         return 2
-    if not args.deep and (args.baseline or args.update_baseline):
+    if (args.deep or effects) and args.select:
         print(
-            "repro lint: --baseline/--update-baseline require --deep",
+            "repro lint: --select does not apply to --deep/--effects "
+            "(each whole-program pass is a single analysis)",
             file=sys.stderr,
         )
         return 2
-    if args.deep:
-        return _run_deep(args)
+    if not (args.deep or effects) and (args.baseline or args.update_baseline):
+        print(
+            "repro lint: --baseline/--update-baseline require --deep "
+            "or --effects",
+            file=sys.stderr,
+        )
+        return 2
+    if args.deep or effects:
+        return _run_whole_program(args, effects=effects)
     select = (
         [s for s in args.select.split(",") if s.strip()]
         if args.select

@@ -11,9 +11,16 @@ Layers, bottom to top:
   trace every call chain from the deterministic core to one;
 * :mod:`~repro.lint.deep.concurrency` -- fork-safety checks on the
   runner modules;
+* :mod:`~repro.lint.deep.effects` -- per-function side-effect summaries
+  (parameter mutation, global writes, I/O) propagated through the call
+  graph to a fixpoint;
+* :mod:`~repro.lint.deep.contracts` -- the E/M/S contract rules
+  evaluated over those summaries (``repro lint --effects``);
+* :mod:`~repro.lint.deep.cache` -- content-addressed AST cache that
+  lets repeated runs skip re-parsing unchanged modules;
 * :mod:`~repro.lint.deep.baseline` -- the accepted-fingerprint snapshot
   that turns absolute findings into a drift gate;
-* :mod:`~repro.lint.deep.analysis` -- the driver the CLI calls.
+* :mod:`~repro.lint.deep.analysis` -- the drivers the CLI calls.
 """
 
 from repro.lint.deep.analysis import (
@@ -21,16 +28,30 @@ from repro.lint.deep.analysis import (
     DeepResult,
     render_deep_summary,
     run_deep_analysis,
+    run_effects_analysis,
 )
 from repro.lint.deep.baseline import (
     BASELINE_FORMAT_VERSION,
     BASELINE_KIND,
     DEFAULT_BASELINE_PATH,
+    DEFAULT_EFFECTS_BASELINE_PATH,
     BaselineError,
     diff_baseline,
     load_baseline,
     render_baseline,
     write_baseline,
+)
+from repro.lint.deep.cache import (
+    CACHE_FORMAT_VERSION,
+    DEFAULT_CACHE_DIR,
+    ModuleCache,
+)
+from repro.lint.deep.contracts import check_contracts
+from repro.lint.deep.effects import (
+    FunctionEffects,
+    Witness,
+    infer_effects,
+    witness_chain,
 )
 from repro.lint.deep.callgraph import CallGraph, CallSite, build_call_graph
 from repro.lint.deep.modindex import (
@@ -53,27 +74,37 @@ __all__ = [
     "BASELINE_FORMAT_VERSION",
     "BASELINE_KIND",
     "BaselineError",
+    "CACHE_FORMAT_VERSION",
     "CORE_PATHS",
     "CallGraph",
     "CallSite",
     "ClassInfo",
     "DEEP_DEFAULT_PATHS",
     "DEFAULT_BASELINE_PATH",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_EFFECTS_BASELINE_PATH",
     "DeepResult",
+    "FunctionEffects",
     "FunctionInfo",
+    "ModuleCache",
     "ModuleInfo",
     "ProjectIndex",
     "Seed",
     "TaintPath",
+    "Witness",
     "build_call_graph",
     "build_index",
+    "check_contracts",
     "collect_seeds",
     "diff_baseline",
+    "infer_effects",
     "load_baseline",
     "module_name_for",
     "render_baseline",
     "render_deep_summary",
     "run_deep_analysis",
+    "run_effects_analysis",
     "trace_taint_paths",
+    "witness_chain",
     "write_baseline",
 ]

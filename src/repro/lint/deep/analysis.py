@@ -1,11 +1,15 @@
-"""The deep-analysis driver behind ``repro lint --deep``.
+"""The whole-program drivers behind ``repro lint --deep``/``--effects``.
 
 Glues the subsystem together: index the tree
 (:mod:`~repro.lint.deep.modindex`), build the call graph
-(:mod:`~repro.lint.deep.callgraph`), trace taint paths
-(:mod:`~repro.lint.deep.taint`), run the fork-safety checks
-(:mod:`~repro.lint.deep.concurrency`), then reconcile everything
-against the accepted baseline (:mod:`~repro.lint.deep.baseline`).
+(:mod:`~repro.lint.deep.callgraph`), then either trace taint paths
+(:mod:`~repro.lint.deep.taint`) plus the fork-safety checks
+(:mod:`~repro.lint.deep.concurrency`) -- the ``--deep`` tier -- or
+infer effect summaries (:mod:`~repro.lint.deep.effects`) and evaluate
+the phase/hook/digest contracts (:mod:`~repro.lint.deep.contracts`) --
+the ``--effects`` tier.  Both reconcile their findings against an
+accepted baseline (:mod:`~repro.lint.deep.baseline`); each tier keeps
+its own baseline file so their drift gates are independent.
 
 The outcome is an ordinary :class:`~repro.lint.engine.LintReport`, so
 the existing text/JSON reporters and exit-code convention apply
@@ -13,7 +17,7 @@ unchanged; what the report *contains* is only the drift -- new findings
 not in the baseline, plus ``B001`` entries for baseline fingerprints the
 tree no longer produces.  Parse failures surface as ``P001`` exactly
 like the shallow engine and are never baselined: an unparseable file
-can't be proven taint-free.
+can't be proven contract-clean.
 """
 
 from __future__ import annotations
@@ -24,26 +28,30 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.lint.deep.baseline import (
     DEFAULT_BASELINE_PATH,
+    DEFAULT_EFFECTS_BASELINE_PATH,
     STALE_CODE,
     diff_baseline,
     load_baseline,
     write_baseline,
 )
+from repro.lint.deep.cache import ModuleCache
 from repro.lint.deep.callgraph import CallGraph, build_call_graph
 from repro.lint.deep.concurrency import check_fork_safety
-from repro.lint.deep.modindex import build_index
+from repro.lint.deep.contracts import check_contracts
+from repro.lint.deep.effects import infer_effects
+from repro.lint.deep.modindex import ProjectIndex, build_index
 from repro.lint.deep.taint import TAINT_CODE, trace_taint_paths
 from repro.lint.engine import PARSE_ERROR_CODE, LintReport, _suppressions
 from repro.lint.findings import Finding
 
-#: Default scan roots for a deep run (whole-program analysis wants the
+#: Default scan roots for a whole-program run (the analysis wants the
 #: package tree, not tests/benchmarks).
 DEEP_DEFAULT_PATHS: Tuple[str, ...] = ("src",)
 
 
 @dataclass
 class DeepResult:
-    """A deep run's report plus the baseline reconciliation detail."""
+    """A whole-program run's report plus baseline reconciliation detail."""
 
     report: LintReport
     #: every fingerprint the tree currently produces
@@ -58,6 +66,8 @@ class DeepResult:
     #: whether this run rewrote the baseline (``--update-baseline``)
     updated: bool = False
     call_graph: Optional[CallGraph] = None
+    #: which tier produced this result (drives the summary header)
+    label: str = "deep analysis"
 
 
 def _suppressed(
@@ -72,26 +82,8 @@ def _suppressed(
     return "*" in codes or finding.code in codes
 
 
-def run_deep_analysis(
-    paths: Sequence[Union[str, pathlib.Path]] = DEEP_DEFAULT_PATHS,
-    baseline_path: Union[str, pathlib.Path] = DEFAULT_BASELINE_PATH,
-    update_baseline: bool = False,
-) -> DeepResult:
-    """Run the whole deep pass and reconcile it against the baseline.
-
-    With ``update_baseline=True`` the current fingerprints are written
-    to ``baseline_path`` and the report carries no drift findings (only
-    ``P001`` parse errors, which can never be accepted).  Otherwise a
-    missing baseline file behaves as an empty one: every fingerprint in
-    the tree is new.
-    """
-    index = build_index(paths)
-    graph = build_call_graph(index)
-    tables = {
-        module.display_path: _suppressions(module.source)
-        for module in index.modules.values()
-    }
-
+def _report_for(index: ProjectIndex) -> LintReport:
+    """A fresh report pre-seeded with the tree's ``P001`` parse errors."""
     report = LintReport(
         files_scanned=index.files_indexed + len(index.parse_errors)
     )
@@ -105,56 +97,46 @@ def run_deep_analysis(
                 message=f"file does not parse: {message}",
             )
         )
+    return report
 
-    taint = trace_taint_paths(graph)
-    report.suppressed += taint.suppressed_seeds
-    candidates: List[Tuple[Finding, str]] = [
-        (
-            Finding(
-                path=path.root_path,
-                line=path.site.lineno,
-                column=path.site.col,
-                code=TAINT_CODE,
-                message=path.message,
-            ),
-            path.fingerprint,
-        )
-        for path in taint.paths
-    ]
-    candidates.extend(check_fork_safety(index))
 
-    fingerprints: Set[str] = set()
+def _reconcile(
+    result: DeepResult,
+    candidates: List[Tuple[Finding, str]],
+    index: ProjectIndex,
+    baseline_path: Union[str, pathlib.Path],
+    update_baseline: bool,
+) -> DeepResult:
+    """Screen candidates, then update or diff the accepted baseline."""
+    report = result.report
+    tables = {
+        module.display_path: _suppressions(module.source)
+        for module in index.modules.values()
+    }
     fresh: List[Tuple[Finding, str]] = []
     for finding, fingerprint in candidates:
         if _suppressed(tables, finding):
             report.suppressed += 1
             continue
-        if fingerprint in fingerprints:
+        if fingerprint in result.fingerprints:
             continue  # one report per accepted-or-not identity
-        fingerprints.add(fingerprint)
+        result.fingerprints.add(fingerprint)
         fresh.append((finding, fingerprint))
 
-    result = DeepResult(
-        report=report,
-        fingerprints=fingerprints,
-        baseline_path=str(baseline_path),
-    )
-
     if update_baseline:
-        write_baseline(baseline_path, fingerprints)
+        write_baseline(baseline_path, result.fingerprints)
         result.updated = True
-        result.accepted = len(fingerprints)
+        result.accepted = len(result.fingerprints)
         report.findings.sort()
-        result.call_graph = graph
         return result
 
     accepted: Set[str] = set()
     if pathlib.Path(baseline_path).exists():
         accepted = load_baseline(baseline_path)
-    new, stale = diff_baseline(fingerprints, accepted)
+    new, stale = diff_baseline(result.fingerprints, accepted)
     result.new = new
     result.stale = stale
-    result.accepted = len(fingerprints & accepted)
+    result.accepted = len(result.fingerprints & accepted)
     new_set = set(new)
     for finding, fingerprint in fresh:
         if fingerprint in new_set:
@@ -174,8 +156,81 @@ def run_deep_analysis(
             )
         )
     report.findings.sort()
-    result.call_graph = graph
     return result
+
+
+def run_deep_analysis(
+    paths: Sequence[Union[str, pathlib.Path]] = DEEP_DEFAULT_PATHS,
+    baseline_path: Union[str, pathlib.Path] = DEFAULT_BASELINE_PATH,
+    update_baseline: bool = False,
+    cache: Optional[ModuleCache] = None,
+) -> DeepResult:
+    """Run the taint/fork-safety pass and reconcile it with its baseline.
+
+    With ``update_baseline=True`` the current fingerprints are written
+    to ``baseline_path`` and the report carries no drift findings (only
+    ``P001`` parse errors, which can never be accepted).  Otherwise a
+    missing baseline file behaves as an empty one: every fingerprint in
+    the tree is new.
+    """
+    index = build_index(paths, cache=cache)
+    graph = build_call_graph(index)
+    report = _report_for(index)
+
+    taint = trace_taint_paths(graph)
+    report.suppressed += taint.suppressed_seeds
+    candidates: List[Tuple[Finding, str]] = [
+        (
+            Finding(
+                path=path.root_path,
+                line=path.site.lineno,
+                column=path.site.col,
+                code=TAINT_CODE,
+                message=path.message,
+            ),
+            path.fingerprint,
+        )
+        for path in taint.paths
+    ]
+    candidates.extend(check_fork_safety(index))
+
+    result = DeepResult(
+        report=report,
+        baseline_path=str(baseline_path),
+        call_graph=graph,
+        label="deep analysis",
+    )
+    return _reconcile(result, candidates, index, baseline_path, update_baseline)
+
+
+def run_effects_analysis(
+    paths: Sequence[Union[str, pathlib.Path]] = DEEP_DEFAULT_PATHS,
+    baseline_path: Union[str, pathlib.Path] = DEFAULT_EFFECTS_BASELINE_PATH,
+    update_baseline: bool = False,
+    cache: Optional[ModuleCache] = None,
+) -> DeepResult:
+    """Run the effect-inference/contract pass against its own baseline.
+
+    Same reconciliation semantics as :func:`run_deep_analysis`, but the
+    candidates come from :func:`~repro.lint.deep.contracts.check_contracts`
+    evaluated over :func:`~repro.lint.deep.effects.infer_effects`
+    summaries, and the default baseline file is
+    ``lint-effects-baseline.json`` so the two gates drift independently.
+    """
+    index = build_index(paths, cache=cache)
+    graph = build_call_graph(index)
+    report = _report_for(index)
+
+    summaries = infer_effects(graph)
+    candidates = check_contracts(graph, summaries)
+
+    result = DeepResult(
+        report=report,
+        baseline_path=str(baseline_path),
+        call_graph=graph,
+        label="effects analysis",
+    )
+    return _reconcile(result, candidates, index, baseline_path, update_baseline)
 
 
 def render_deep_summary(result: DeepResult) -> str:
@@ -185,7 +240,7 @@ def render_deep_summary(result: DeepResult) -> str:
     fingerprints, one per line, without digging through full messages.
     """
     lines = [
-        f"deep analysis: {len(result.fingerprints)} finding(s) in tree, "
+        f"{result.label}: {len(result.fingerprints)} finding(s) in tree, "
         f"{result.accepted} accepted by baseline {result.baseline_path}"
     ]
     if result.updated:

@@ -32,6 +32,10 @@ BASELINE_FORMAT_VERSION = 1
 #: root in CI and normal use).
 DEFAULT_BASELINE_PATH = "lint-deep-baseline.json"
 
+#: The effects/contract tier keeps its own accepted-fingerprint file so
+#: the two drift gates move independently.
+DEFAULT_EFFECTS_BASELINE_PATH = "lint-effects-baseline.json"
+
 STALE_CODE = "B001"
 
 

@@ -86,10 +86,38 @@ class CallGraph:
     edges: Dict[str, Dict[str, CallSite]] = field(default_factory=dict)
     #: registry dict qualname -> registered member qualnames
     registries: Dict[str, Set[str]] = field(default_factory=dict)
+    #: (caller, callee) -> every witnessed call expression with its
+    #: binding shape: ``"call"`` (positional args map to params as
+    #: written), ``"method"`` (the receiver binds the callee's first
+    #: parameter, positional args shift by one), ``"ctor"`` (the fresh
+    #: instance binds ``self``, positional args shift by one) or
+    #: ``"partial"`` (``functools.partial(f, ...)``: args after the
+    #: callable map from parameter zero).  Registry-dispatch and
+    #: nested-def edges have no call expression and record nothing --
+    #: the effects pass then propagates only receiver-independent
+    #: effects (global writes, I/O) across them.
+    call_exprs: Dict[Tuple[str, str], List[Tuple[ast.Call, str]]] = field(
+        default_factory=dict
+    )
 
-    def add_edge(self, caller: str, callee: str, site: CallSite) -> None:
-        """Record ``caller -> callee`` (first call site wins)."""
+    def add_edge(
+        self,
+        caller: str,
+        callee: str,
+        site: CallSite,
+        node: Optional[ast.Call] = None,
+        kind: str = "call",
+    ) -> None:
+        """Record ``caller -> callee`` (first call site wins).
+
+        When ``node`` is the witnessed :class:`ast.Call`, it is kept --
+        with its argument-binding ``kind`` -- for the effects pass.
+        """
         self.edges.setdefault(caller, {}).setdefault(callee, site)
+        if node is not None:
+            self.call_exprs.setdefault((caller, callee), []).append(
+                (node, kind)
+            )
 
     def callees(self, caller: str) -> Dict[str, CallSite]:
         """Every edge out of ``caller`` (empty dict when none)."""
@@ -782,7 +810,9 @@ class _GraphBuilder:
         # ``self.attr.method()``: dispatch through the inferred attribute
         # type(s), covering every indexed subclass override.
         for method in self._attribute_dispatch_targets(node.func, own_class):
-            self.graph.add_edge(function.qualname, method.qualname, site)
+            self.graph.add_edge(
+                function.qualname, method.qualname, site, node, "method"
+            )
         resolved = self._resolve_call_target(
             function.module, node.func, scope, own_class
         )
@@ -799,19 +829,34 @@ class _GraphBuilder:
         if wrapped is not None:
             member = self._callable_qualname(function, wrapped, scope)
             if member is not None:
-                self.graph.add_edge(function.qualname, member, site)
+                self.graph.add_edge(
+                    function.qualname, member, site, node, "partial"
+                )
         if resolved is None:
             return
         kind, target = resolved
         if kind == "func":
             assert isinstance(target, FunctionInfo)
-            self.graph.add_edge(function.qualname, target.qualname, site)
+            # A method reached through an attribute receiver binds that
+            # receiver to its first parameter; a plain (or unbound
+            # ``Class.method(obj, ...)``) call maps args positionally.
+            shape = (
+                "method"
+                if target.class_name is not None
+                and isinstance(node.func, ast.Attribute)
+                else "call"
+            )
+            self.graph.add_edge(
+                function.qualname, target.qualname, site, node, shape
+            )
             self._maybe_register(function, resolved, node, scope)
         elif kind == "class":
             assert isinstance(target, ClassInfo)
             init = self.resolver.constructor(target)
             if init is not None:
-                self.graph.add_edge(function.qualname, init.qualname, site)
+                self.graph.add_edge(
+                    function.qualname, init.qualname, site, node, "ctor"
+                )
 
     def _handle_decorators(
         self, function: FunctionInfo, scope: "_Scope"

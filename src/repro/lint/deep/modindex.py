@@ -35,9 +35,21 @@ from __future__ import annotations
 import ast
 import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.lint.engine import iter_python_files
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.deep.cache import ModuleCache
 
 
 @dataclass
@@ -257,20 +269,30 @@ def _index_class(
 
 
 def build_index(
-    paths: Iterable[Union[str, pathlib.Path]]
+    paths: Iterable[Union[str, pathlib.Path]],
+    cache: Optional["ModuleCache"] = None,
 ) -> ProjectIndex:
-    """Parse and index every Python file under ``paths`` once."""
+    """Parse and index every Python file under ``paths`` once.
+
+    With a :class:`~repro.lint.deep.cache.ModuleCache`, each module's
+    AST is looked up by source content hash before parsing and stored
+    after; an unchanged tree re-indexes without touching the parser.
+    """
     index = ProjectIndex()
     for file_path in iter_python_files(paths):
         display = file_path.as_posix()
         source = file_path.read_text(encoding="utf-8")
-        try:
-            tree = ast.parse(source, filename=display)
-        except SyntaxError as error:
-            index.parse_errors.append(
-                (display, error.lineno or 1, error.msg or "syntax error")
-            )
-            continue
+        tree = cache.load(source) if cache is not None else None
+        if tree is None:
+            try:
+                tree = ast.parse(source, filename=display)
+            except SyntaxError as error:
+                index.parse_errors.append(
+                    (display, error.lineno or 1, error.msg or "syntax error")
+                )
+                continue
+            if cache is not None:
+                cache.store(source, tree)
         name = module_name_for(file_path)
         if name in index.modules:
             # Two files mapping to one dotted name (e.g. the same tree

@@ -68,5 +68,12 @@ class RuleInfo:
 
     @property
     def category(self) -> str:
-        """The rule family letter (``D``, ``C``, ``R`` or ``H``)."""
+        """The rule family letter.
+
+        Shallow families: ``D`` (determinism), ``C`` (cache safety),
+        ``R`` (reducibility), ``H`` (hook discipline).  Whole-program
+        families live outside the shallow catalogue: ``T``/``F`` under
+        ``--deep`` and ``E``/``M``/``S`` under ``--effects``, plus the
+        shared ``P`` (parse) and ``B`` (baseline drift) codes.
+        """
         return self.code[:1]

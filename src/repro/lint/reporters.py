@@ -58,6 +58,44 @@ def render_text(report: LintReport) -> str:
     return "\n".join(lines)
 
 
+#: ``(code, name, summary)`` per whole-program rule.  These run under
+#: ``--deep``/``--effects`` rather than the shallow per-file engine, so
+#: they are listed here instead of the selectable catalogue.
+WHOLE_PROGRAM_RULES = (
+    ("T001", "deep-taint-path", "--deep",
+     "a deterministic-core function transitively reaches a "
+     "nondeterminism source"),
+    ("F001", "fork-unsafe-global", "--deep",
+     "a runner module mutates a module-level global that forked "
+     "workers snapshot"),
+    ("E001", "phase-engine-mutation", "--effects",
+     "a backend phase transitively mutates engine state outside its "
+     "phase allowlist"),
+    ("E002", "phase-payload-mutation", "--effects",
+     "a backend phase mutates a payload parameter that is not a "
+     "documented out-parameter"),
+    ("E003", "hook-payload-mutation", "--effects",
+     "an observer on_* hook transitively mutates its payload "
+     "(interprocedural H001)"),
+    ("E004", "phase-io", "--effects",
+     "a backend phase performs I/O"),
+    ("M001", "mutation-after-submit", "--effects",
+     "an object captured by a submitted work unit is mutated after "
+     "the submission"),
+    ("S001", "digest-unstable-field", "--effects",
+     "a defaulted spec field is serialized unconditionally, drifting "
+     "every digest"),
+    ("S002", "digest-missing-field", "--effects",
+     "a spec field never reaches to_dict, so differing specs share a "
+     "digest"),
+    ("P001", "parse-error", "--deep/--effects",
+     "a file under analysis does not parse (never baselined)"),
+    ("B001", "stale-baseline-entry", "--deep/--effects",
+     "an accepted baseline fingerprint is no longer produced by the "
+     "tree"),
+)
+
+
 def render_rule_catalogue() -> str:
     """The ``--list-rules`` text: code, name and summary per rule."""
     lines = []
@@ -65,4 +103,9 @@ def render_rule_catalogue() -> str:
         scope = ", ".join(info.scopes) if info.scopes else "all files"
         lines.append(f"{info.code}  {info.name}  [{scope}]")
         lines.append(f"      {info.summary}")
+    lines.append("")
+    lines.append("whole-program rules (not selectable with --select):")
+    for code, name, mode, summary in WHOLE_PROGRAM_RULES:
+        lines.append(f"{code}  {name}  [{mode}]")
+        lines.append(f"      {summary}")
     return "\n".join(lines)

@@ -57,7 +57,43 @@ if TYPE_CHECKING:  # pragma: no cover - circular-import guard (annotations)
     from repro.graph.snapshot import GraphSnapshot
     from repro.sim.engine import SimulationEngine
 
-__all__ = ["EngineBackend", "ReferenceBackend"]
+__all__ = [
+    "EngineBackend",
+    "PHASE_MUTABLE_ATTRS",
+    "PHASE_OUT_PARAMS",
+    "ReferenceBackend",
+]
+
+#: The machine-checked phase contract: which engine-state attributes
+#: each phase primitive may mutate (directly or through any callee).
+#: ``repro lint --effects`` enforces this transitively over every
+#: registered backend -- reference, vectorized and future ones alike
+#: (rule E001 in :mod:`repro.lint.deep.contracts`); backend-private
+#: caches (``self._csr`` and friends) are always fair game.  Widening a
+#: phase's row here is an API change: it must come with a docs/model.md
+#: contract-table update and a cross-backend equivalence argument.
+PHASE_MUTABLE_ATTRS: Mapping[str, FrozenSet[str]] = {
+    # observe charges the packet counters and nothing else.
+    "observe": frozenset({"_packets_broadcast", "_packet_deliveries"}),
+    # activate steps the scheduler model (its internal queues advance).
+    "activate": frozenset({"_scheduler"}),
+    # compute may advance per-robot algorithm memory, nothing physical.
+    "compute": frozenset({"_algorithm"}),
+    # move/settle own the position and pending-move bookkeeping.
+    "move": frozenset({"_positions", "_pending_moves"}),
+    "settle": frozenset({"_positions", "_pending_moves"}),
+    # pure audits: read-only on engine state.
+    "audit_memory": frozenset(),
+    "count_occupied_components": frozenset(),
+}
+
+#: Phase parameters that are documented out-parameters -- the only
+#: payload arguments a phase body may write into (rule E002 flags every
+#: other parameter mutation).
+PHASE_OUT_PARAMS: Mapping[str, FrozenSet[str]] = {
+    "move": frozenset({"new_entry_ports"}),
+    "settle": frozenset({"new_entry_ports"}),
+}
 
 
 class EngineBackend(ABC):
@@ -68,6 +104,12 @@ class EngineBackend(ABC):
     engine remains the single owner of that state; backends read and
     mutate it through the documented phase contracts but never drive the
     round loop, fire observers, or construct records themselves.
+
+    The contract is statically enforced: ``repro lint --effects``
+    infers each phase implementation's transitive side effects and
+    checks them against :data:`PHASE_MUTABLE_ATTRS` /
+    :data:`PHASE_OUT_PARAMS`, so a stray in-place write in any
+    registered backend fails CI instead of silently corrupting results.
     """
 
     #: Registry-facing name; informational (the registry key is what the

@@ -39,6 +39,7 @@ from typing import (
     Any,
     Callable,
     Dict,
+    FrozenSet,
     List,
     Mapping,
     Optional,
@@ -58,6 +59,42 @@ SPEC_FORMAT_VERSION = 1
 #: streams, tie-breaks, metrics), so persisted results keyed under the old
 #: salt become unreachable instead of silently stale.
 CODE_VERSION_SALT = f"spec{SPEC_FORMAT_VERSION}:results1"
+
+#: The digest-stability contract, machine-checked by ``repro lint
+#: --effects`` (rules S001/S002 in :mod:`repro.lint.deep.contracts`).
+#: Per spec class: the fields whose keys every format-v1 document
+#: already carries.  A *new* defaulted field must be emitted behind an
+#: ``if self.<field> ...`` guard in ``to_dict`` so pre-existing specs --
+#: and their content digests, hence the entire run store -- stay
+#: byte-identical; emitting one unconditionally is exactly the drift
+#: the hand audits of earlier releases existed to catch.  Growing a
+#: set below is a format-version event, not a convenience.
+SPEC_BASELINE_FIELDS: Mapping[str, FrozenSet[str]] = {
+    "RunSpec": frozenset(
+        {
+            "graph",
+            "placement",
+            "algorithm",
+            "communication",
+            "neighborhood_knowledge",
+            "seed",
+            "collect_records",
+            "collect_snapshots",
+            "validate_graphs",
+            "allow_model_mismatch",
+        }
+    ),
+    "ComponentSpec": frozenset({"name", "params"}),
+    "PlacementSpec": frozenset({"kind", "k", "root"}),
+    "CrashSpec": frozenset({"kind", "events", "f", "max_round"}),
+}
+
+#: Fields excluded from digest material by design (display-only).
+#: :func:`canonical_spec_json` strips them before hashing, so the
+#: S-rules do not hold them to the omitted-when-default bar.
+DIGEST_EXEMPT_FIELDS: Mapping[str, FrozenSet[str]] = {
+    "RunSpec": frozenset({"label"}),
+}
 
 
 class SpecError(ValueError):

@@ -83,8 +83,11 @@ PUBLIC_MODULES = [
     "repro.lint.deep",
     "repro.lint.deep.analysis",
     "repro.lint.deep.baseline",
+    "repro.lint.deep.cache",
     "repro.lint.deep.callgraph",
     "repro.lint.deep.concurrency",
+    "repro.lint.deep.contracts",
+    "repro.lint.deep.effects",
     "repro.lint.deep.modindex",
     "repro.lint.deep.taint",
     "repro.lint.determinism",
