@@ -14,13 +14,22 @@ fault to inject at three layers:
   hang or fail worker units; the pool's retry/restart machinery must
   absorb the loss;
 * **engine** (:class:`~repro.chaos.engine_faults.PhaseFaultObserver`) --
-  raise from a named phase hook mid-run.
+  raise from a named phase hook mid-run;
+* **filesystem** (:class:`~repro.chaos.fs.ChaosVFS`) -- sabotage the
+  store's own write path at named syscall boundaries: ``EIO`` /
+  ``ENOSPC``, torn writes, lost renames, and simulated crashes, with a
+  page-cache model that materializes adversarial post-crash disk
+  images.
 
 :func:`~repro.chaos.replay.replay_plan` replays a plan against the
 reproduction campaign (or any spec grid) and checks *bit-identical
 convergence* against a fault-free baseline, returning the tolerated
 faults as a canonical :class:`~repro.chaos.failures.FailureRecord`
-stream.  ``repro chaos --plan plan.json`` is the CLI entry point;
+stream.  :func:`~repro.chaos.replay.run_crash_matrix` is the
+crash-consistency half: it simulates a crash at *every* filesystem-op
+boundary of the store's write, recompute and gc workloads and asserts
+the recovery invariants at each.  ``repro chaos --plan plan.json`` and
+``repro chaos --crash-matrix`` are the CLI entry points;
 ``docs/robustness.md`` is the narrative.
 """
 
@@ -35,10 +44,20 @@ from repro.chaos.failures import (
     load_failure_stream,
     render_failure_stream,
 )
+from repro.chaos.fs import (
+    CRASH_IMAGE_MODES,
+    ChaosVFS,
+    SimulatedCrash,
+    VfsOp,
+    chaos_vfs_for_plan,
+)
 from repro.chaos.plan import (
     ENGINE_PHASES,
     EngineFault,
+    FS_FAULT_KINDS,
+    FS_OPS,
     FaultPlan,
+    FsFault,
     PlanError,
     RUNNER_FAULT_KINDS,
     RunnerFault,
@@ -46,7 +65,13 @@ from repro.chaos.plan import (
     StoreFault,
     plan_digest,
 )
-from repro.chaos.replay import ChaosReport, RecordingRunner, replay_plan
+from repro.chaos.replay import (
+    ChaosReport,
+    CrashMatrixReport,
+    RecordingRunner,
+    replay_plan,
+    run_crash_matrix,
+)
 from repro.chaos.runner import ChaosPoolRunner
 from repro.chaos.store import FaultyStore, corrupt_entry_file
 from repro.chaos.engine_faults import PhaseFaultObserver
@@ -56,6 +81,9 @@ __all__ = [
     "ChaosPoolRunner",
     "ChaosReport",
     "ChaosTransientError",
+    "ChaosVFS",
+    "CRASH_IMAGE_MODES",
+    "CrashMatrixReport",
     "ENGINE_PHASES",
     "EngineFault",
     "FAILURE_KINDS",
@@ -64,17 +92,24 @@ __all__ = [
     "FailureRecord",
     "FaultPlan",
     "FaultyStore",
+    "FS_FAULT_KINDS",
+    "FS_OPS",
+    "FsFault",
     "PhaseFaultObserver",
     "PlanError",
     "RecordingRunner",
     "RUNNER_FAULT_KINDS",
     "RunnerFault",
+    "SimulatedCrash",
     "STORE_FAULT_KINDS",
     "StoreFault",
+    "VfsOp",
+    "chaos_vfs_for_plan",
     "corrupt_entry_file",
     "diff_failure_streams",
     "load_failure_stream",
     "plan_digest",
     "render_failure_stream",
     "replay_plan",
+    "run_crash_matrix",
 ]

@@ -12,7 +12,9 @@ fault can originate from:
 * ``corrupt``   -- a store entry failed integrity validation and was
   quarantined;
 * ``transient`` -- a dispatched task raised a retriable exception;
-* ``engine``    -- an exception escaped a named engine phase hook.
+* ``engine``    -- an exception escaped a named engine phase hook;
+* ``io``        -- a filesystem write failed (``ENOSPC``, ``EIO``) and
+  the store write-back was skipped rather than aborting the run.
 
 Records are plain frozen data with a total order, so a chaos replay's
 failure stream can be sorted into a canonical sequence and compared
@@ -33,6 +35,7 @@ FAILURE_KINDS: Tuple[str, ...] = (
     "corrupt",
     "transient",
     "engine",
+    "io",
 )
 
 FAILURE_STREAM_KIND = "chaos_failure_stream"

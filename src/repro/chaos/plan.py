@@ -29,6 +29,16 @@ Faults come in three layers, mirroring the execution stack:
 * :class:`EngineFault` -- raises from a named engine phase hook
   (:class:`repro.chaos.engine_faults.PhaseFaultObserver`) while the
   ``spec_index``-th dispatched spec executes.
+* :class:`FsFault` -- sabotages one filesystem operation of the
+  parent-side store's write path (:class:`repro.chaos.fs.ChaosVFS`):
+  ``eio``/``enospc`` raise the corresponding ``OSError`` from the
+  matched op, ``torn_write`` persists a partial buffer and simulates a
+  crash, ``lost_rename`` crashes with the publish rename undone, and
+  ``crash`` raises :class:`~repro.chaos.fs.SimulatedCrash` at the op
+  boundary.  The target is addressed by operation name (``op``), the
+  Nth matching occurrence (``op_index``), and optionally the store's
+  ``writer`` tag (``"parent"`` hits only the
+  :class:`~repro.sim.store.CachingRunner` write path).
 
 ``seed`` drives every stochastic choice an injector makes (currently the
 bit-flip position), through ``random.Random`` instances derived from the
@@ -56,6 +66,27 @@ STORE_FAULT_KINDS: Tuple[str, ...] = (
 
 #: Ways a dispatched work unit can misbehave.
 RUNNER_FAULT_KINDS: Tuple[str, ...] = ("crash", "hang", "transient", "slow")
+
+#: Ways a filesystem operation can be sabotaged.
+FS_FAULT_KINDS: Tuple[str, ...] = (
+    "eio",
+    "enospc",
+    "torn_write",
+    "lost_rename",
+    "crash",
+)
+
+#: The :class:`~repro.sim.store.VirtualFS` operations an
+#: :class:`FsFault` may target (``"any"`` matches every op).
+FS_OPS: Tuple[str, ...] = (
+    "any",
+    "mkdir",
+    "write_bytes",
+    "fsync_file",
+    "replace",
+    "fsync_dir",
+    "unlink",
+)
 
 #: The engine phase hooks an :class:`EngineFault` may target, in firing
 #: order (see :class:`repro.sim.hooks.EngineObserver`).
@@ -224,6 +255,78 @@ class EngineFault:
 
 
 @dataclass(frozen=True)
+class FsFault:
+    """Sabotage the ``op_index``-th matching filesystem operation.
+
+    ``op`` names the :class:`~repro.sim.store.VirtualFS` operation to
+    match (``"any"`` matches all of them); ``writer`` restricts the
+    match to ops tagged with that store address (``"parent"`` -- the
+    :class:`~repro.sim.store.CachingRunner` write path, ``"worker"`` --
+    pool-worker write-through; empty matches any writer).  ``op_index``
+    counts the matching ops, per :class:`~repro.chaos.fs.ChaosVFS`
+    instance; ``times`` makes the fault fire on that many *consecutive*
+    matching ops (an ``enospc`` with ``times=3`` models a disk that
+    stays full for three writes).
+
+    ``eio``/``enospc`` are survivable (the write path degrades
+    gracefully and records an ``io`` failure); ``torn_write``,
+    ``lost_rename`` and ``crash`` raise
+    :class:`~repro.chaos.fs.SimulatedCrash` and are meant for the
+    crash-point harness, not for convergence replays.
+    """
+
+    kind: str
+    op: str = "any"
+    op_index: int = 0
+    writer: str = ""
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FS_FAULT_KINDS:
+            raise PlanError(
+                f"unknown fs fault kind {self.kind!r}; expected one of "
+                f"{FS_FAULT_KINDS}"
+            )
+        if self.op not in FS_OPS:
+            raise PlanError(
+                f"unknown fs op {self.op!r}; expected one of {FS_OPS}"
+            )
+        if self.kind == "torn_write" and self.op not in ("any", "write_bytes"):
+            raise PlanError(
+                f"torn_write targets write_bytes ops, not {self.op!r}"
+            )
+        if self.kind == "lost_rename" and self.op not in ("any", "replace"):
+            raise PlanError(
+                f"lost_rename targets replace ops, not {self.op!r}"
+            )
+        if self.op_index < 0:
+            raise PlanError(f"op_index must be >= 0, got {self.op_index}")
+        if self.times < 1:
+            raise PlanError(f"times must be >= 1, got {self.times}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form."""
+        return {
+            "kind": self.kind,
+            "op": self.op,
+            "op_index": self.op_index,
+            "writer": self.writer,
+            "times": self.times,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FsFault":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=str(data["kind"]),
+            op=str(data.get("op", "any")),
+            op_index=int(data.get("op_index", 0)),
+            writer=str(data.get("writer", "")),
+            times=int(data.get("times", 1)),
+        )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Every fault one chaos replay injects, as pure data.
 
@@ -239,6 +342,7 @@ class FaultPlan:
     store: Tuple[StoreFault, ...] = ()
     runner: Tuple[RunnerFault, ...] = ()
     engine: Tuple[EngineFault, ...] = ()
+    fs: Tuple[FsFault, ...] = ()
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -247,9 +351,15 @@ class FaultPlan:
         object.__setattr__(self, "store", tuple(self.store))
         object.__setattr__(self, "runner", tuple(self.runner))
         object.__setattr__(self, "engine", tuple(self.engine))
+        object.__setattr__(self, "fs", tuple(self.fs))
 
     def to_dict(self) -> Dict[str, Any]:
-        """Full JSON-serializable dict export of the plan."""
+        """Full JSON-serializable dict export of the plan.
+
+        The ``fs`` layer is omitted when empty (like ``label``), so
+        plans predating it serialize -- and hash -- exactly as they
+        always have.
+        """
         data: Dict[str, Any] = {
             "format_version": PLAN_FORMAT_VERSION,
             "kind": "fault_plan",
@@ -258,6 +368,8 @@ class FaultPlan:
             "runner": [fault.to_dict() for fault in self.runner],
             "engine": [fault.to_dict() for fault in self.engine],
         }
+        if self.fs:
+            data["fs"] = [fault.to_dict() for fault in self.fs]
         if self.label:
             data["label"] = self.label
         return data
@@ -284,6 +396,9 @@ class FaultPlan:
             engine=tuple(
                 EngineFault.from_dict(item) for item in data.get("engine", ())
             ),
+            fs=tuple(
+                FsFault.from_dict(item) for item in data.get("fs", ())
+            ),
             label=str(data.get("label", "")),
         )
 
@@ -307,7 +422,12 @@ class FaultPlan:
     @property
     def fault_count(self) -> int:
         """Total number of declared faults across all layers."""
-        return len(self.store) + len(self.runner) + len(self.engine)
+        return (
+            len(self.store)
+            + len(self.runner)
+            + len(self.engine)
+            + len(self.fs)
+        )
 
 
 def plan_digest(plan: FaultPlan, *, salt: str = "faultplan1") -> str:

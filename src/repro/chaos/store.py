@@ -89,7 +89,12 @@ class FaultyStore(RunStore):
         *,
         salt: str = CODE_VERSION_SALT,
     ) -> None:
-        super().__init__(root, salt=salt)
+        # The plan's fs layer rides along: parent-side store ops route
+        # through a ChaosVFS so FsFaults can hit this store's (and the
+        # wrapping CachingRunner's) write path.
+        from repro.chaos.fs import chaos_vfs_for_plan
+
+        super().__init__(root, salt=salt, vfs=chaos_vfs_for_plan(plan))
         self.plan = plan
         self.failures: List[FailureRecord] = []
         self._stored_reads = 0

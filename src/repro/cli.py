@@ -120,13 +120,20 @@ def _add_execution_args(parser: argparse.ArgumentParser, what: str) -> None:
         "--retries", type=int, default=0, metavar="N",
         help="retry budget per work unit (with --jobs)",
     )
+    parser.add_argument(
+        "--durability", choices=("fast", "strict"), default="fast",
+        help="run-store write durability: 'strict' fsyncs entry and "
+        "directory so published entries survive power loss intact",
+    )
 
 
 def _store_from_args(args: argparse.Namespace) -> Optional[RunStore]:
     """The run store the command should use, or None with ``--no-cache``."""
     if args.no_cache:
         return None
-    return RunStore(args.cache_dir)
+    return RunStore(
+        args.cache_dir, durability=getattr(args, "durability", "fast")
+    )
 
 
 def _print_cache_line(store: Optional[RunStore]) -> None:
@@ -391,6 +398,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"gc: removed {outcome['removed']} entries, "
             f"kept {outcome['kept']}"
         )
+        if outcome["stale_tmp_removed"]:
+            line += (
+                f", swept {outcome['stale_tmp_removed']} stale staging "
+                f"files"
+            )
+        if outcome["tombstones_swept"]:
+            line += f", finished {outcome['tombstones_swept']} tombstones"
         if outcome["unlink_errors"]:
             line += f", {outcome['unlink_errors']} unlink errors"
         if args.purge_quarantine is not None:
@@ -421,6 +435,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     from repro.chaos import FaultPlan, PlanError, replay_plan
 
+    if args.crash_matrix:
+        if args.plan is not None:
+            print(
+                "error: --plan and --crash-matrix are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_crash_matrix_cli(args)
+    if args.plan is None:
+        print(
+            "error: one of --plan or --crash-matrix is required",
+            file=sys.stderr,
+        )
+        return 2
     try:
         with open(args.plan, "r", encoding="utf-8") as handle:
             plan = FaultPlan.from_json(handle.read())
@@ -492,6 +520,30 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                     f"({len(report.failures)} records)"
                 )
     return 0 if report.ok and golden_ok else 1
+
+
+def _run_crash_matrix_cli(args: argparse.Namespace) -> int:
+    """``repro chaos --crash-matrix``: the crash-point replay harness."""
+    import tempfile
+
+    from repro.chaos import run_crash_matrix
+
+    durabilities = (
+        ("fast", "strict")
+        if args.durability == "both"
+        else (args.durability,)
+    )
+    # Every cell builds and destroys its own store tree; the whole
+    # matrix runs under a throwaway workdir, never the user's cache.
+    with tempfile.TemporaryDirectory(prefix="repro-crash-matrix-") as root:
+        report = run_crash_matrix(root, durabilities=durabilities)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -665,11 +717,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos = sub.add_parser(
         "chaos",
         help="replay a seeded fault plan and check bit-identical "
-        "convergence",
+        "convergence, or run the crash-consistency matrix",
     )
     p_chaos.add_argument(
-        "--plan", required=True, metavar="PATH",
+        "--plan", default=None, metavar="PATH",
         help="FaultPlan JSON file (see docs/robustness.md)",
+    )
+    p_chaos.add_argument(
+        "--crash-matrix", action="store_true",
+        help="instead of a plan replay: simulate a crash at every "
+        "filesystem-op boundary of the store's write/recompute/gc "
+        "workloads and assert the recovery invariants",
+    )
+    p_chaos.add_argument(
+        "--durability", choices=("fast", "strict", "both"),
+        default="both",
+        help="store durability mode(s) the crash matrix sweeps "
+        "(default both)",
     )
     p_chaos.add_argument(
         "--scale", choices=("quick", "full"), default="quick"

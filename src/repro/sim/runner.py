@@ -120,20 +120,24 @@ def _run_unit(
     specs: List[RunSpec],
     store_root: Optional[str],
     store_salt: Optional[str],
+    store_durability: str,
 ) -> List[RunResult]:
     """Worker-side task: execute one dispatched chunk of specs.
 
     Module-level and pure, hence picklable.  With a store configured the
-    worker itself checks the cache and writes results through, so a unit
-    re-dispatched after a worker loss recomputes only what the lost
-    worker had not yet persisted.
+    worker itself checks the cache and writes results through (at the
+    parent store's durability mode), so a unit re-dispatched after a
+    worker loss recomputes only what the lost worker had not yet
+    persisted.
     """
     if store_root is None:
         return [execute(spec) for spec in specs]
     from repro.sim.store import execute_through_store
 
     return [
-        execute_through_store(spec, store_root, store_salt or "")
+        execute_through_store(
+            spec, store_root, store_salt or "", durability=store_durability
+        )
         for spec in specs
     ]
 
@@ -248,8 +252,15 @@ class ProcessPoolRunner(Runner):
     ) -> Future:
         store_root = str(self.store.root) if self.store is not None else None
         store_salt = self.store.salt if self.store is not None else None
+        durability = (
+            self.store.durability if self.store is not None else "fast"
+        )
         return pool.submit(
-            _run_unit, [specs[i] for i in unit], store_root, store_salt
+            _run_unit,
+            [specs[i] for i in unit],
+            store_root,
+            store_salt,
+            durability,
         )
 
     @staticmethod

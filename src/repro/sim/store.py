@@ -12,9 +12,10 @@ by recomputing only the other half.
 
 Layout (``layout v1``)::
 
-    <root>/v1/<digest[:2]>/<digest>.json   one entry per stored run
-    <root>/tmp/                            staging area for atomic writes
-    <root>/quarantine/<digest>.json        entries that failed integrity
+    <root>/v1/<digest[:2]>/<digest>.json        one entry per stored run
+    <root>/v1/<digest[:2]>/<...>.json.tomb      gc tombstone (mid-delete)
+    <root>/tmp/                                 staging area for writes
+    <root>/quarantine/<digest>.json             entries that failed integrity
 
 Each entry carries the digest, the salt, the full spec, the full result
 (:func:`~repro.sim.traceio.run_result_to_dict`), the wall-clock seconds
@@ -26,16 +27,41 @@ match its address is *quarantined* (moved to ``<root>/quarantine/``,
 preserving the evidence), counted in ``corrupt_entries``, and treated as
 a miss -- the spec is recomputed and the fresh write repairs the store,
 so a corrupt entry can never serve a wrong result.  :meth:`RunStore.verify`
-runs the same integrity checks over the whole store offline.  Writes go to the
-staging area and are published with ``os.replace``, which is atomic on
-POSIX: any number of processes -- including the worker processes of a
+runs the same integrity checks over the whole store offline.
+
+**Write path and durability.**  Writes are staged in ``<root>/tmp`` and
+published with ``os.replace``, which is atomic on POSIX: any number of
+processes -- including the worker processes of a
 :class:`~repro.sim.runner.ProcessPoolRunner` sharing one store -- may
 read and write concurrently without torn entries.  Racing writers of the
 same digest produce identical content, so last-writer-wins is lossless.
+Two ``durability`` modes govern what a *system* crash (power loss, not
+just a killed process) may take with it:
+
+* ``"fast"`` (default) -- no fsync.  A crash can lose recently published
+  entries (a lost rename is just a cache miss) or, on filesystems that
+  persist the rename before the data, leave a *torn* published entry --
+  which the checksum validation detects and quarantines on first read.
+* ``"strict"`` -- fsync the staged file before ``os.replace`` and fsync
+  the parent directory after it.  A published entry is durable the
+  moment ``put`` returns; torn published entries are impossible.
+
+Every filesystem mutation goes through a :class:`VirtualFS`, a named-op
+surface (:mod:`repro.chaos.fs` substitutes a fault-injecting one), and
+is tagged with the owning store's ``writer`` address, so a chaos plan
+can target e.g. the parent-side :class:`CachingRunner` write path
+specifically.  :meth:`RunStore.recover` sweeps crash debris -- stale
+``tmp/`` staging files and leftover gc tombstones; the stale-tmp sweep
+also runs lazily on a store's first write.  :meth:`RunStore.gc` deletes
+in two phases (rename to ``*.tomb``, then unlink) so a crash mid-gc
+never races a concurrent writer republishing the same digest.
 
 :class:`CachingRunner` is the read-through/write-through adapter: it
 wraps any :class:`~repro.sim.runner.Runner` backend, serves hits from
-the store, executes only the misses, and writes those back.  Explicit
+the store, executes only the misses, and writes those back.  A failed
+write-back (``ENOSPC``, ``EIO``) degrades gracefully: the computed
+result is still returned and the fault is surfaced as a structured
+``io`` failure record instead of aborting the campaign.  Explicit
 :meth:`RunStore.invalidate`, :meth:`RunStore.gc` and
 :meth:`RunStore.stats` operations complete the cache lifecycle; the CLI
 exposes them as ``repro-dispersion cache stats|gc|clear``.
@@ -43,14 +69,25 @@ exposes them as ``repro-dispersion cache stats|gc|clear``.
 
 from __future__ import annotations
 
+import errno
 import hashlib
+import itertools
 import json
 import os
 import pathlib
-import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.sim.metrics import RunResult
 from repro.sim.runner import Runner
@@ -66,6 +103,78 @@ LAYOUT_VERSION = 1
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: The write-path durability modes a :class:`RunStore` supports.
+DURABILITY_MODES = ("fast", "strict")
+
+#: How old (seconds) an orphaned ``tmp/`` staging file must be before
+#: the recovery sweep reclaims it.  Anything younger is presumed to
+#: belong to a live concurrent writer.
+STALE_TMP_GRACE_SECONDS = 3600.0
+
+#: Per-process serial for unique staging names (uniqueness only; the
+#: name never influences any stored content).
+_TMP_SERIAL = itertools.count()
+
+#: An injectable wall-clock (provenance timestamps only, never digest
+#: inputs); tests substitute skewed clocks to prove age arithmetic
+#: tolerates non-monotonic time.
+Clock = Callable[[], float]
+
+
+class VirtualFS:
+    """The syscall surface of a store mutation, as named, addressable ops.
+
+    Every way a :class:`RunStore` touches the filesystem -- staging
+    writes, fsyncs, atomic publishes, directory syncs, unlinks, mkdirs
+    -- is routed through one of these methods, each tagged with the
+    owning store's ``writer`` address.  The base class simply performs
+    the real operation; :class:`repro.chaos.fs.ChaosVFS` overrides it to
+    inject torn writes, ``EIO``/``ENOSPC``, lost renames and
+    crash-points at any op boundary, which is what makes the write path
+    an enumerable *op stream* rather than opaque side effects.
+    """
+
+    def mkdir(self, path: pathlib.Path, *, writer: str = "") -> None:
+        """Create ``path`` (and parents); a no-op if it exists."""
+        os.makedirs(path, exist_ok=True)
+
+    def write_bytes(
+        self, path: pathlib.Path, data: bytes, *, writer: str = ""
+    ) -> None:
+        """Write ``data`` to ``path`` (create or truncate)."""
+        with open(path, "wb") as handle:
+            handle.write(data)
+
+    def fsync_file(self, path: pathlib.Path, *, writer: str = "") -> None:
+        """Flush ``path``'s data to stable storage."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def replace(
+        self, src: pathlib.Path, dst: pathlib.Path, *, writer: str = ""
+    ) -> None:
+        """Atomically publish ``src`` at ``dst`` (``os.replace``)."""
+        os.replace(src, dst)
+
+    def fsync_dir(self, path: pathlib.Path, *, writer: str = "") -> None:
+        """Flush the directory entry updates under ``path``."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def unlink(self, path: pathlib.Path, *, writer: str = "") -> None:
+        """Remove ``path``."""
+        os.unlink(path)
+
+
+#: The shared pass-through instance every un-instrumented store uses.
+_REAL_FS = VirtualFS()
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -129,6 +238,9 @@ class StoreStats:
     corrupt_entries: int = 0
     quarantine_entries: int = 0
     quarantine_bytes: int = 0
+    tmp_files: int = 0
+    stale_tmp_removed: int = 0
+    tombstones_swept: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """Machine-readable form (what ``cache stats --json`` emits)."""
@@ -143,6 +255,9 @@ class StoreStats:
             "corrupt_entries": self.corrupt_entries,
             "quarantine_entries": self.quarantine_entries,
             "quarantine_bytes": self.quarantine_bytes,
+            "tmp_files": self.tmp_files,
+            "stale_tmp_removed": self.stale_tmp_removed,
+            "tombstones_swept": self.tombstones_swept,
         }
 
     def render(self) -> str:
@@ -152,6 +267,9 @@ class StoreStats:
             f"  entries {self.entries}, {self.size_bytes} bytes\n"
             f"  quarantine: {self.quarantine_entries} entries, "
             f"{self.quarantine_bytes} bytes\n"
+            f"  staging: {self.tmp_files} tmp files "
+            f"({self.stale_tmp_removed} stale removed, "
+            f"{self.tombstones_swept} tombstones swept)\n"
             f"  session: {self.hits} hits, {self.misses} misses, "
             f"{self.writes} writes, {self.corrupt_entries} corrupt"
         )
@@ -211,8 +329,19 @@ class RunStore:
     previously stored entry unreachable -- the library-wide invalidation
     lever -- while :meth:`gc` can reclaim the orphaned bytes.
 
-    Session counters (``hits`` / ``misses`` / ``writes``) accumulate per
-    store instance; :meth:`stats` combines them with a disk scan.
+    ``durability`` selects the write-path crash guarantee (``"fast"`` or
+    ``"strict"``, see the module docstring).  ``vfs`` substitutes the
+    :class:`VirtualFS` every filesystem mutation routes through (chaos
+    injection); ``writer`` is the address tag those ops carry
+    (:class:`CachingRunner` tags its store ``"parent"``, pool workers
+    tag theirs ``"worker"``).  ``clock`` is the provenance timestamp
+    source (default ``time.time``); it feeds ``created_at`` and age
+    arithmetic only, never a digest, and all age checks tolerate a
+    non-monotonic clock (an mtime in the future reads as age zero).
+
+    Session counters (``hits`` / ``misses`` / ``writes`` /
+    ``stale_tmp_removed`` / ``tombstones_swept``) accumulate per store
+    instance; :meth:`stats` combines them with a disk scan.
     """
 
     def __init__(
@@ -220,16 +349,37 @@ class RunStore:
         root: Union[str, os.PathLike, None] = None,
         *,
         salt: str = CODE_VERSION_SALT,
+        durability: str = "fast",
+        vfs: Optional[VirtualFS] = None,
+        writer: str = "",
+        clock: Optional[Clock] = None,
     ) -> None:
+        if durability not in DURABILITY_MODES:
+            raise ValueError(
+                f"durability must be one of {DURABILITY_MODES}, "
+                f"got {durability!r}"
+            )
         self.root = pathlib.Path(root) if root is not None else default_cache_dir()
         self.salt = salt
+        self.durability = durability
+        self.vfs = vfs if vfs is not None else _REAL_FS
+        self.writer = writer
+        # Reference only, never called here: created_at is provenance
+        # metadata and the injection point is what the skew tests drive.
+        self._clock: Clock = clock if clock is not None else time.time
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.corrupt = 0
+        self.stale_tmp_removed = 0
+        self.tombstones_swept = 0
+        self._recovered = False
 
     def __repr__(self) -> str:
-        return f"RunStore({str(self.root)!r}, salt={self.salt!r})"
+        return (
+            f"RunStore({str(self.root)!r}, salt={self.salt!r}, "
+            f"durability={self.durability!r})"
+        )
 
     # ------------------------------------------------------------------
     # Addressing
@@ -238,6 +388,11 @@ class RunStore:
     @property
     def _objects(self) -> pathlib.Path:
         return self.root / f"v{LAYOUT_VERSION}"
+
+    @property
+    def staging_dir(self) -> pathlib.Path:
+        """Where in-flight writes are staged before publication."""
+        return self.root / "tmp"
 
     @property
     def quarantine_dir(self) -> pathlib.Path:
@@ -281,12 +436,12 @@ class RunStore:
         success, False if it could not be moved *or* removed."""
         target = self.quarantine_dir / path.name
         try:
-            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
-            os.replace(path, target)
+            self.vfs.mkdir(self.quarantine_dir, writer=self.writer)
+            self.vfs.replace(path, target, writer=self.writer)
             return True
         except OSError:
             try:
-                path.unlink()
+                self.vfs.unlink(path, writer=self.writer)
                 return True
             except OSError:
                 return False
@@ -314,9 +469,10 @@ class RunStore:
             self._check_integrity(digest, payload)
             result = run_result_from_dict(payload["result"])
         except (ValueError, KeyError, TypeError):
-            # Corrupt entry (bit rot, a torn write from a pre-atomic
-            # layout, or injected tampering): surface it in the corrupt
-            # counter, keep the bytes for diagnosis, recompute.
+            # Corrupt entry (bit rot, a torn write published by a crash
+            # under durability="fast", or injected tampering): surface
+            # it in the corrupt counter, keep the bytes for diagnosis,
+            # recompute.
             self.corrupt += 1
             self.misses += 1
             self._quarantine(path)
@@ -336,9 +492,16 @@ class RunStore:
         The write is atomic (staged in ``<root>/tmp`` and published via
         ``os.replace``), so concurrent readers and writers -- including
         pool workers sharing the store -- never observe a torn entry.
+        Under ``durability="strict"`` the staged file is fsynced before
+        publication and the parent directory after it, making the entry
+        durable against system crashes, not just process deaths.  The
+        first write of a store instance also sweeps stale ``tmp/``
+        staging debris left by crashed earlier writers.
         """
         digest = self.digest(spec)
         path = self.path_for(digest)
+        if not self._recovered:
+            self.recover(sweep_tombstones=False)
         spec_dict = spec.to_dict()
         result_dict = run_result_to_dict(result)
         payload = {
@@ -349,9 +512,9 @@ class RunStore:
             "label": spec.label,
             # Provenance metadata only: created_at orders entries for
             # gc eviction and is never part of the digest pre-image or
-            # the reconstructed RunResult, so the wall-clock read cannot
-            # leak into any content-addressed key.
-            "created_at": time.time(),  # reprolint: disable=D001
+            # the reconstructed RunResult, so the (injectable) clock
+            # read cannot leak into any content-addressed key.
+            "created_at": self._clock(),
             "seconds": seconds,
             # Integrity checksum over the content-bearing fields only
             # (provenance excluded), re-derived by every read.
@@ -359,23 +522,30 @@ class RunStore:
             "spec": spec_dict,
             "result": result_dict,
         }
-        path.parent.mkdir(parents=True, exist_ok=True)
-        staging = self.root / "tmp"
-        staging.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=staging, prefix=digest[:8], suffix=".json"
+        data = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        vfs = self.vfs
+        vfs.mkdir(path.parent, writer=self.writer)
+        vfs.mkdir(self.staging_dir, writer=self.writer)
+        # Unique per process+serial; the name never reaches any content.
+        tmp = self.staging_dir / (
+            f"{digest[:8]}.{os.getpid()}.{next(_TMP_SERIAL)}.json"
         )
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(
-                    payload, handle, separators=(",", ":"), sort_keys=True
-                )
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
+            vfs.write_bytes(tmp, data.encode("utf-8"), writer=self.writer)
+            if self.durability == "strict":
+                vfs.fsync_file(tmp, writer=self.writer)
+            vfs.replace(tmp, path, writer=self.writer)
+            if self.durability == "strict":
+                vfs.fsync_dir(path.parent, writer=self.writer)
+        except BaseException as error:
+            # A *simulated* crash must leave the staging debris a real
+            # crash would -- that torn tmp file is exactly what the
+            # recovery sweep exists to reclaim.
+            if not getattr(error, "simulated_crash", False):
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
             raise
         self.writes += 1
         return digest
@@ -383,6 +553,66 @@ class RunStore:
     def __contains__(self, spec: RunSpec) -> bool:
         """Whether ``spec`` has a stored entry (no counters touched)."""
         return self.path_for(self.digest(spec)).exists()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(
+        self,
+        *,
+        stale_tmp_seconds: float = STALE_TMP_GRACE_SECONDS,
+        sweep_tombstones: bool = True,
+    ) -> Dict[str, int]:
+        """Sweep crash debris; returns per-category removal counts.
+
+        Two kinds of debris survive an interrupted process:
+
+        * **stale staging files** -- a writer that died between staging
+          and publishing leaves a (possibly torn) file in ``tmp/``.
+          Files older than ``stale_tmp_seconds`` are reclaimed; younger
+          ones are presumed to belong to live concurrent writers.  Age
+          is clamped at zero, so a skewed clock that stamps files in
+          the future can never make a fresh write look ancient.
+        * **gc tombstones** -- a :meth:`gc` that died between its mark
+          and sweep phases leaves ``*.json.tomb`` files.  A tombstone is
+          a committed deletion (readers already cannot see it), so the
+          sweep simply finishes the unlink.
+
+        Runs implicitly before a store instance's first write (staging
+        sweep only) and at the start of every :meth:`gc`; the CLI
+        surfaces the counts via ``cache stats`` / ``cache gc``.
+        """
+        self._recovered = True
+        swept_tmp = 0
+        swept_tombs = 0
+        if self.staging_dir.is_dir():
+            now = self._clock()
+            for leftover in sorted(self.staging_dir.iterdir()):
+                try:
+                    age = now - leftover.stat().st_mtime
+                except OSError:
+                    continue
+                if max(age, 0.0) < stale_tmp_seconds:
+                    continue
+                try:
+                    self.vfs.unlink(leftover, writer=self.writer)
+                    swept_tmp += 1
+                except OSError:
+                    continue
+        if sweep_tombstones and self._objects.is_dir():
+            for tomb in sorted(self._objects.glob("*/*.json.tomb")):
+                try:
+                    self.vfs.unlink(tomb, writer=self.writer)
+                    swept_tombs += 1
+                except OSError:
+                    continue
+        self.stale_tmp_removed += swept_tmp
+        self.tombstones_swept += swept_tombs
+        return {
+            "stale_tmp_removed": swept_tmp,
+            "tombstones_swept": swept_tombs,
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -410,6 +640,15 @@ class RunStore:
                 path=path,
             )
 
+    def staging_usage(self) -> int:
+        """How many in-flight (or orphaned) files ``tmp/`` holds."""
+        if not self.staging_dir.is_dir():
+            return 0
+        count = 0
+        for path in self.staging_dir.iterdir():
+            count += 1
+        return count
+
     def quarantine_usage(self) -> Dict[str, int]:
         """Entry count and total bytes currently held in quarantine."""
         entries = 0
@@ -428,7 +667,9 @@ class RunStore:
 
         Quarantined files exist only as diagnostic evidence; once old
         enough to be uninteresting they are reclaimable.  ``0`` purges
-        everything.  Returns the number of files removed.
+        everything.  Returns the number of files removed.  A skewed
+        clock cannot over-purge: an mtime in the future reads as age
+        zero, which only ever keeps evidence longer.
         """
         if older_than_days < 0:
             raise ValueError(
@@ -436,14 +677,16 @@ class RunStore:
             )
         if not self.quarantine_dir.is_dir():
             return 0
-        # Age is judged against the wall clock on purpose: quarantine
-        # timestamps are filesystem provenance, never digest inputs.
-        cutoff = time.time() - older_than_days * 86400.0  # reprolint: disable=D001
+        # Age is judged against the (injectable) wall clock on purpose:
+        # quarantine timestamps are filesystem provenance, never digest
+        # inputs.
+        now = self._clock()
         removed = 0
         for path in sorted(self.quarantine_dir.glob("*.json")):
             try:
-                if path.stat().st_mtime <= cutoff:
-                    path.unlink()
+                age = max(now - path.stat().st_mtime, 0.0)
+                if age >= older_than_days * 86400.0:
+                    self.vfs.unlink(path, writer=self.writer)
                     removed += 1
             except OSError:
                 continue
@@ -453,7 +696,7 @@ class RunStore:
         """Drop ``spec``'s entry; returns whether one existed."""
         path = self.path_for(self.digest(spec))
         try:
-            path.unlink()
+            self.vfs.unlink(path, writer=self.writer)
             return True
         except OSError:
             return False
@@ -463,7 +706,7 @@ class RunStore:
         removed = 0
         for entry in list(self.entries()):
             try:
-                entry.path.unlink()
+                self.vfs.unlink(entry.path, writer=self.writer)
                 removed += 1
             except OSError:
                 pass
@@ -482,55 +725,83 @@ class RunStore:
         ``drop_stale`` removes entries written under a different salt
         (unreachable since the salt bump).  ``max_entries`` /
         ``max_bytes`` then evict oldest-first until the survivors fit
-        both budgets.  ``unlink_errors`` counts removal attempts that
-        failed with ``OSError`` (the entry is left in place and still
-        counted as kept) -- surfaced rather than swallowed, so a
-        permission problem in a shared cache is visible.
+        both budgets (a non-monotonic ``created_at`` ordering is
+        tolerated -- eviction order is simply the sorted timestamps,
+        however skewed).
+
+        Deletion is **two-phase** so compaction is safe under
+        concurrent writers and crashes: every victim is first *marked*
+        by an atomic rename to ``<entry>.json.tomb`` (phase one), then
+        the tombstones are unlinked (phase two).  A writer republishing
+        a victim digest mid-gc creates a fresh file at the original
+        path, which the tombstone sweep never touches -- the new entry
+        survives.  A crash between the phases leaves only tombstones,
+        which are invisible to readers and reclaimed by
+        :meth:`recover` (which also runs first, so debris from a
+        previously crashed gc is finished here).
+
+        ``unlink_errors`` counts victims whose *mark* rename failed
+        with ``OSError`` (the entry is left in place and still counted
+        as kept) -- surfaced rather than swallowed, so a permission
+        problem in a shared cache is visible.
         ``purge_quarantine_days`` additionally deletes quarantined
         entries at least that many days old (``0`` purges all), counted
         separately under ``quarantine_purged``.
         """
+        recovered = self.recover()
         quarantine_purged = 0
         if purge_quarantine_days is not None:
             quarantine_purged = self.purge_quarantine(
                 older_than_days=purge_quarantine_days
             )
         live: List[StoreEntry] = []
-        removed = 0
-        unlink_errors = 0
+        victims: List[StoreEntry] = []
         for entry in self.entries():
             if drop_stale and entry.salt != self.salt:
-                try:
-                    entry.path.unlink()
-                    removed += 1
-                except OSError:
-                    unlink_errors += 1
-                    live.append(entry)
+                victims.append(entry)
                 continue
             live.append(entry)
         live.sort(key=lambda e: e.created_at)
-        stuck: List[StoreEntry] = []
         total_bytes = sum(e.size_bytes for e in live)
         while live and (
             (max_entries is not None and len(live) > max_entries)
             or (max_bytes is not None and total_bytes > max_bytes)
         ):
             victim = live.pop(0)
+            victims.append(victim)
+            total_bytes -= victim.size_bytes
+        # Phase one: mark every victim with an atomic tombstone rename.
+        # From this point each marked entry is invisible to readers; a
+        # concurrent writer republishing the digest lands at the
+        # original path, untouched by phase two.
+        removed = 0
+        unlink_errors = 0
+        stuck: List[StoreEntry] = []
+        tombs: List[pathlib.Path] = []
+        for victim in victims:
+            tomb = victim.path.with_name(victim.path.name + ".tomb")
             try:
-                victim.path.unlink()
-                removed += 1
-                total_bytes -= victim.size_bytes
+                self.vfs.replace(victim.path, tomb, writer=self.writer)
             except OSError:
-                # Unremovable victim: count the error, keep it out of the
-                # eviction loop so the scan always terminates.
                 unlink_errors += 1
                 stuck.append(victim)
-                total_bytes -= victim.size_bytes
+                continue
+            removed += 1
+            tombs.append(tomb)
+        # Phase two: sweep the tombstones.  A failure here is already a
+        # committed deletion -- recover() finishes it later.
+        for tomb in tombs:
+            try:
+                self.vfs.unlink(tomb, writer=self.writer)
+            except OSError:
+                continue
         return {
             "removed": removed,
             "kept": len(live) + len(stuck),
             "unlink_errors": unlink_errors,
             "quarantine_purged": quarantine_purged,
+            "stale_tmp_removed": recovered["stale_tmp_removed"],
+            "tombstones_swept": recovered["tombstones_swept"],
         }
 
     def stats(self) -> StoreStats:
@@ -551,6 +822,9 @@ class RunStore:
             corrupt_entries=self.corrupt,
             quarantine_entries=quarantine["entries"],
             quarantine_bytes=quarantine["bytes"],
+            tmp_files=self.staging_usage(),
+            stale_tmp_removed=self.stale_tmp_removed,
+            tombstones_swept=self.tombstones_swept,
         )
 
     # ------------------------------------------------------------------
@@ -618,17 +892,20 @@ def execute_through_store(
     spec: RunSpec,
     root: Union[str, os.PathLike],
     salt: str = CODE_VERSION_SALT,
+    durability: str = "fast",
 ) -> RunResult:
     """Hit-or-execute-and-store one spec against the store at ``root``.
 
     A module-level pure function of its arguments, hence picklable: this
     is the task :class:`~repro.sim.runner.ProcessPoolRunner` dispatches
     when it carries a store, which is what lets every worker process
-    read and write-through one shared cache directly.
+    read and write-through one shared cache directly.  Worker-side
+    store ops are tagged ``writer="worker"``, distinguishing them from
+    the parent-side :class:`CachingRunner` write path.
     """
     from repro.sim.spec import execute
 
-    store = RunStore(root, salt=salt)
+    store = RunStore(root, salt=salt, durability=durability, writer="worker")
     cached = store.get(spec)
     if cached is not None:
         return cached
@@ -648,6 +925,16 @@ class CachingRunner(Runner):
     invisible.  If the wrapped backend already writes through the same
     store (a :class:`~repro.sim.runner.ProcessPoolRunner` constructed
     with ``store=``), the duplicate parent-side write is skipped.
+
+    The wrapped store's filesystem ops are tagged ``writer="parent"``
+    (unless already tagged), which is the address a
+    :class:`~repro.chaos.plan.FsFault` uses to target this write path
+    specifically.  A write-back that fails with ``OSError`` (``ENOSPC``,
+    ``EIO``) degrades gracefully: the freshly computed result is still
+    returned, the write is skipped, and a structured ``io``
+    :class:`~repro.chaos.failures.FailureRecord` is appended to
+    :attr:`failures` (surfaced by campaign reports via the duck-typed
+    ``failure_records`` protocol).
     """
 
     name = "caching"
@@ -655,10 +942,40 @@ class CachingRunner(Runner):
     def __init__(self, inner: Runner, store: RunStore) -> None:
         self.inner = inner
         self.store = store
+        if not store.writer:
+            store.writer = "parent"
+        self.failures: List[Any] = []
+        self._spec_base = 0
         self.name = f"caching[{inner.name}]"
+
+    def _record_write_failure(self, unit: int, error: OSError) -> None:
+        """Append a deterministic ``io`` failure record for a skipped
+        write-back (errno name only -- paths carry nondeterministic
+        staging serials)."""
+        # Imported lazily: repro.chaos depends on this module, so a
+        # top-level import would be circular; by the time a write can
+        # fail, both packages are importable.
+        from repro.chaos.failures import FailureRecord
+
+        code = errno.errorcode.get(error.errno or 0, type(error).__name__)
+        self.failures.append(
+            FailureRecord(
+                unit=unit,
+                attempt=0,
+                kind="io",
+                detail=f"store write skipped: {code}",
+            )
+        )
+
+    @property
+    def failure_records(self) -> List[Any]:
+        """The tolerated write-failure records, in canonical order."""
+        return sorted(self.failures)
 
     def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         """Serve hits from the store, execute misses via the backend."""
+        spec_base = self._spec_base
+        self._spec_base += len(specs)
         results: List[Optional[RunResult]] = [None] * len(specs)
         miss_indices: List[int] = []
         for index, spec in enumerate(specs):
@@ -681,9 +998,15 @@ class CachingRunner(Runner):
             for index, result in zip(miss_indices, computed):
                 results[index] = result
                 if not worker_writes:
-                    self.store.put(
-                        specs[index], result, seconds=mean_seconds
-                    )
+                    try:
+                        self.store.put(
+                            specs[index], result, seconds=mean_seconds
+                        )
+                    except OSError as error:
+                        # Graceful degradation: the result is already
+                        # computed and correct; a full disk only costs
+                        # the cache entry, never the campaign.
+                        self._record_write_failure(spec_base + index, error)
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
 

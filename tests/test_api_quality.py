@@ -43,6 +43,7 @@ PUBLIC_MODULES = [
     "repro.chaos",
     "repro.chaos.engine_faults",
     "repro.chaos.failures",
+    "repro.chaos.fs",
     "repro.chaos.injectors",
     "repro.chaos.plan",
     "repro.chaos.replay",

@@ -106,6 +106,8 @@ class TestRunStore:
             "kept": 4,
             "unlink_errors": 0,
             "quarantine_purged": 0,
+            "stale_tmp_removed": 0,
+            "tombstones_swept": 0,
         }
         outcome = store.gc(max_entries=2)
         assert outcome["kept"] == 2
