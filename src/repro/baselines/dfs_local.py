@@ -52,11 +52,8 @@ class DfsDispersionLocal(RobotAlgorithm):
         # the port the group should take; co-located robots read it (local
         # communication makes this free).  Cleared every round.
         self._announced_port: Dict[int, int] = {}
-        self._k = 0
-        self._max_degree_seen = 1
 
     def on_run_start(self, k: int, n: int) -> None:
-        self._k = k
         for robot_id in range(1, k + 1):
             self._settled[robot_id] = False
             self._parent_port[robot_id] = None
@@ -71,7 +68,6 @@ class DfsDispersionLocal(RobotAlgorithm):
         robot_id = observation.robot_id
         packet = observation.own_packet
         here = packet.robot_ids
-        self._max_degree_seen = max(self._max_degree_seen, packet.degree)
 
         if self._settled[robot_id]:
             return STAY

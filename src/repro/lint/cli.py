@@ -12,10 +12,11 @@ from __future__ import annotations
 import argparse
 import sys
 import traceback
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.lint.engine import lint_paths
+from repro.lint.engine import LintReport, lint_paths
 from repro.lint.reporters import (
+    render_all_json,
     render_json,
     render_rule_catalogue,
     render_text,
@@ -23,6 +24,9 @@ from repro.lint.reporters import (
 
 #: Default scan roots per mode; whole-program modes want the package tree.
 SHALLOW_DEFAULT_PATHS = ["src", "tests", "benchmarks"]
+
+#: The whole-program tiers, in the order ``--all`` runs them.
+WHOLE_PROGRAM_MODES = ("deep", "effects", "robot")
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -32,7 +36,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         nargs="*",
         default=None,
         help="files or directories to lint (default: src tests "
-        "benchmarks; with --deep/--effects: src)",
+        "benchmarks; with a whole-program tier: src)",
     )
     parser.add_argument(
         "--json",
@@ -65,23 +69,38 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "accepted baseline",
     )
     parser.add_argument(
+        "--robot-model",
+        action="store_true",
+        help="run the whole-program robot-model conformance analysis "
+        "(hidden/unbounded persistent state, observation scope and "
+        "mutation, model escape) against its accepted baseline",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="run every tier -- the shallow rules plus all three "
+        "whole-program passes -- in one invocation with a merged "
+        "report and a single combined exit code",
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         metavar="PATH",
-        help="baseline snapshot for --deep/--effects (defaults: "
-        "lint-deep-baseline.json / lint-effects-baseline.json)",
+        help="baseline snapshot for the selected whole-program tier "
+        "(defaults: lint-deep-baseline.json / "
+        "lint-effects-baseline.json / lint-robot-baseline.json)",
     )
     parser.add_argument(
         "--update-baseline",
         action="store_true",
-        help="with --deep/--effects: accept the tree's current findings "
-        "as the new baseline and exit 0",
+        help="with a whole-program tier (or --all): accept the tree's "
+        "current findings as the new baseline(s) and exit 0",
     )
     parser.add_argument(
         "--no-cache",
         action="store_true",
-        help="with --deep/--effects: re-parse every module instead of "
-        "consulting the .lint-cache AST cache",
+        help="with a whole-program tier: re-parse every module instead "
+        "of consulting the .lint-cache AST cache",
     )
 
 
@@ -96,25 +115,36 @@ def _whole_program_cache(args: argparse.Namespace) -> Optional[object]:
     return ModuleCache(pathlib.Path(DEFAULT_CACHE_DIR))
 
 
-def _run_whole_program(args: argparse.Namespace, effects: bool) -> int:
+def _tier_runner(mode: str):
+    """``(runner, default baseline path)`` for a whole-program mode."""
     from repro.lint.deep import (
-        DEEP_DEFAULT_PATHS,
         DEFAULT_BASELINE_PATH,
         DEFAULT_EFFECTS_BASELINE_PATH,
-        BaselineError,
-        render_deep_summary,
+        DEFAULT_ROBOT_BASELINE_PATH,
         run_deep_analysis,
         run_effects_analysis,
+        run_robot_model_analysis,
+    )
+
+    return {
+        "deep": (run_deep_analysis, DEFAULT_BASELINE_PATH),
+        "effects": (run_effects_analysis, DEFAULT_EFFECTS_BASELINE_PATH),
+        "robot": (run_robot_model_analysis, DEFAULT_ROBOT_BASELINE_PATH),
+    }[mode]
+
+
+def _run_whole_program(args: argparse.Namespace, mode: str) -> int:
+    from repro.lint.deep import (
+        DEEP_DEFAULT_PATHS,
+        BaselineError,
+        render_deep_summary,
     )
 
     paths = args.paths if args.paths else list(DEEP_DEFAULT_PATHS)
-    default_baseline = (
-        DEFAULT_EFFECTS_BASELINE_PATH if effects else DEFAULT_BASELINE_PATH
-    )
+    runner, default_baseline = _tier_runner(mode)
     baseline = (
         args.baseline if args.baseline is not None else default_baseline
     )
-    runner = run_effects_analysis if effects else run_deep_analysis
     try:
         result = runner(
             paths,
@@ -144,35 +174,110 @@ def _run_whole_program(args: argparse.Namespace, effects: bool) -> int:
     return 0 if result.report.ok else 1
 
 
+def _run_all(args: argparse.Namespace) -> int:
+    """Every tier in one invocation: merged report, combined exit code."""
+    from repro.lint.deep import (
+        DEEP_DEFAULT_PATHS,
+        BaselineError,
+        render_deep_summary,
+    )
+
+    shallow_paths = args.paths if args.paths else SHALLOW_DEFAULT_PATHS
+    deep_paths = args.paths if args.paths else list(DEEP_DEFAULT_PATHS)
+    cache = _whole_program_cache(args)
+    tiers: Dict[str, LintReport] = {}
+    summaries: List[str] = []
+    try:
+        tiers["shallow"] = lint_paths(shallow_paths)
+        for mode in WHOLE_PROGRAM_MODES:
+            runner, default_baseline = _tier_runner(mode)
+            result = runner(
+                deep_paths,
+                baseline_path=default_baseline,
+                update_baseline=args.update_baseline,
+                cache=cache,
+            )
+            tiers[mode if mode != "robot" else "robot_model"] = result.report
+            summaries.append(render_deep_summary(result))
+    except (FileNotFoundError, BaselineError, ValueError) as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    except Exception:
+        traceback.print_exc()
+        print(
+            "repro lint: internal error in whole-program analysis",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(render_all_json(tiers))
+    else:
+        for name, key in (
+            ("shallow", "shallow"),
+            ("deep", "deep"),
+            ("effects", "effects"),
+            ("robot-model", "robot_model"),
+        ):
+            print(f"== {name} ==")
+            print(render_text(tiers[key]))
+        for summary in summaries:
+            print(summary)
+    return 0 if all(report.ok for report in tiers.values()) else 1
+
+
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute a lint run described by parsed arguments."""
     if args.list_rules:
         print(render_rule_catalogue())
         return 0
-    effects = getattr(args, "effects", False)
-    if args.deep and effects:
+    run_all = getattr(args, "all", False)
+    selected = [
+        flag
+        for flag in ("deep", "effects", "robot_model")
+        if getattr(args, flag, False)
+    ]
+    if run_all and selected:
         print(
-            "repro lint: --deep and --effects are separate passes; "
-            "run them as two invocations",
+            "repro lint: --all already runs every tier; drop "
+            f"--{selected[0].replace('_', '-')}",
             file=sys.stderr,
         )
         return 2
-    if (args.deep or effects) and args.select:
+    if len(selected) > 1:
         print(
-            "repro lint: --select does not apply to --deep/--effects "
-            "(each whole-program pass is a single analysis)",
+            "repro lint: --deep/--effects/--robot-model are separate "
+            "passes; run them as separate invocations (or use --all)",
             file=sys.stderr,
         )
         return 2
-    if not (args.deep or effects) and (args.baseline or args.update_baseline):
+    if (run_all or selected) and args.select:
         print(
-            "repro lint: --baseline/--update-baseline require --deep "
-            "or --effects",
+            "repro lint: --select does not apply to whole-program "
+            "passes (each is a single analysis)",
             file=sys.stderr,
         )
         return 2
-    if args.deep or effects:
-        return _run_whole_program(args, effects=effects)
+    if run_all and args.baseline:
+        print(
+            "repro lint: --baseline names one tier's snapshot; --all "
+            "uses each tier's default baseline file",
+            file=sys.stderr,
+        )
+        return 2
+    if not (run_all or selected) and (args.baseline or args.update_baseline):
+        print(
+            "repro lint: --baseline/--update-baseline require --deep, "
+            "--effects, --robot-model or --all",
+            file=sys.stderr,
+        )
+        return 2
+    if run_all:
+        return _run_all(args)
+    if selected:
+        mode = {"deep": "deep", "effects": "effects", "robot_model": "robot"}[
+            selected[0]
+        ]
+        return _run_whole_program(args, mode)
     select = (
         [s for s in args.select.split(",") if s.strip()]
         if args.select

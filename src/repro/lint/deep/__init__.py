@@ -16,6 +16,8 @@ Layers, bottom to top:
   graph to a fixpoint;
 * :mod:`~repro.lint.deep.contracts` -- the E/M/S contract rules
   evaluated over those summaries (``repro lint --effects``);
+* :mod:`~repro.lint.deep.robotmodel` -- the A rule family: robot-model
+  conformance of algorithm classes (``repro lint --robot-model``);
 * :mod:`~repro.lint.deep.cache` -- content-addressed AST cache that
   lets repeated runs skip re-parsing unchanged modules;
 * :mod:`~repro.lint.deep.baseline` -- the accepted-fingerprint snapshot
@@ -29,12 +31,14 @@ from repro.lint.deep.analysis import (
     render_deep_summary,
     run_deep_analysis,
     run_effects_analysis,
+    run_robot_model_analysis,
 )
 from repro.lint.deep.baseline import (
     BASELINE_FORMAT_VERSION,
     BASELINE_KIND,
     DEFAULT_BASELINE_PATH,
     DEFAULT_EFFECTS_BASELINE_PATH,
+    DEFAULT_ROBOT_BASELINE_PATH,
     BaselineError,
     diff_baseline,
     load_baseline,
@@ -42,11 +46,13 @@ from repro.lint.deep.baseline import (
     write_baseline,
 )
 from repro.lint.deep.cache import (
+    ANALYZER_VERSION,
     CACHE_FORMAT_VERSION,
     DEFAULT_CACHE_DIR,
     ModuleCache,
 )
 from repro.lint.deep.contracts import check_contracts
+from repro.lint.deep.robotmodel import check_robot_model
 from repro.lint.deep.effects import (
     FunctionEffects,
     Witness,
@@ -71,6 +77,7 @@ from repro.lint.deep.taint import (
 )
 
 __all__ = [
+    "ANALYZER_VERSION",
     "BASELINE_FORMAT_VERSION",
     "BASELINE_KIND",
     "BaselineError",
@@ -83,6 +90,7 @@ __all__ = [
     "DEFAULT_BASELINE_PATH",
     "DEFAULT_CACHE_DIR",
     "DEFAULT_EFFECTS_BASELINE_PATH",
+    "DEFAULT_ROBOT_BASELINE_PATH",
     "DeepResult",
     "FunctionEffects",
     "FunctionInfo",
@@ -95,6 +103,7 @@ __all__ = [
     "build_call_graph",
     "build_index",
     "check_contracts",
+    "check_robot_model",
     "collect_seeds",
     "diff_baseline",
     "infer_effects",
@@ -104,6 +113,7 @@ __all__ = [
     "render_deep_summary",
     "run_deep_analysis",
     "run_effects_analysis",
+    "run_robot_model_analysis",
     "trace_taint_paths",
     "witness_chain",
     "write_baseline",

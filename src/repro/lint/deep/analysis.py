@@ -29,6 +29,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 from repro.lint.deep.baseline import (
     DEFAULT_BASELINE_PATH,
     DEFAULT_EFFECTS_BASELINE_PATH,
+    DEFAULT_ROBOT_BASELINE_PATH,
     STALE_CODE,
     diff_baseline,
     load_baseline,
@@ -40,6 +41,7 @@ from repro.lint.deep.concurrency import check_fork_safety
 from repro.lint.deep.contracts import check_contracts
 from repro.lint.deep.effects import infer_effects
 from repro.lint.deep.modindex import ProjectIndex, build_index
+from repro.lint.deep.robotmodel import check_robot_model
 from repro.lint.deep.taint import TAINT_CODE, trace_taint_paths
 from repro.lint.engine import PARSE_ERROR_CODE, LintReport, _suppressions
 from repro.lint.findings import Finding
@@ -229,6 +231,36 @@ def run_effects_analysis(
         baseline_path=str(baseline_path),
         call_graph=graph,
         label="effects analysis",
+    )
+    return _reconcile(result, candidates, index, baseline_path, update_baseline)
+
+
+def run_robot_model_analysis(
+    paths: Sequence[Union[str, pathlib.Path]] = DEEP_DEFAULT_PATHS,
+    baseline_path: Union[str, pathlib.Path] = DEFAULT_ROBOT_BASELINE_PATH,
+    update_baseline: bool = False,
+    cache: Optional[ModuleCache] = None,
+) -> DeepResult:
+    """Run the robot-model conformance pass against its own baseline.
+
+    Same reconciliation semantics as :func:`run_deep_analysis`; the
+    candidates come from
+    :func:`~repro.lint.deep.robotmodel.check_robot_model` evaluated over
+    effect summaries, and the default baseline file is
+    ``lint-robot-baseline.json`` -- the third independent drift gate.
+    """
+    index = build_index(paths, cache=cache)
+    graph = build_call_graph(index)
+    report = _report_for(index)
+
+    summaries = infer_effects(graph)
+    candidates = check_robot_model(graph, summaries)
+
+    result = DeepResult(
+        report=report,
+        baseline_path=str(baseline_path),
+        call_graph=graph,
+        label="robot-model analysis",
     )
     return _reconcile(result, candidates, index, baseline_path, update_baseline)
 

@@ -36,6 +36,9 @@ DEFAULT_BASELINE_PATH = "lint-deep-baseline.json"
 #: the two drift gates move independently.
 DEFAULT_EFFECTS_BASELINE_PATH = "lint-effects-baseline.json"
 
+#: The robot-model tier's accepted-fingerprint file (third drift gate).
+DEFAULT_ROBOT_BASELINE_PATH = "lint-robot-baseline.json"
+
 STALE_CODE = "B001"
 
 

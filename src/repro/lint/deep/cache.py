@@ -3,9 +3,11 @@
 The deep and effects tiers re-parse the whole tree on every run; in CI
 and in tight edit-lint loops almost nothing changed since the last run.
 This cache keys each module's pickled AST by a hash of its *source
-text* (plus a format version and the interpreter's minor version, since
-pickled AST layouts differ across both), so a cache entry can never go
-stale -- an edited file simply misses.
+text* (plus a format version, the analyzer generation
+:data:`ANALYZER_VERSION`, and the interpreter's minor version, since
+pickled AST layouts differ across the latter two), so a cache entry can
+never go stale -- an edited file, or an upgraded analyzer, simply
+misses.
 
 Entries live under ``.lint-cache/<hh>/<hash>.ast.pkl`` next to the
 analyzed tree.  Writes go through a temp file + :func:`os.replace` so a
@@ -27,11 +29,23 @@ import sys
 import tempfile
 from typing import Optional
 
-__all__ = ["CACHE_FORMAT_VERSION", "DEFAULT_CACHE_DIR", "ModuleCache"]
+__all__ = [
+    "ANALYZER_VERSION",
+    "CACHE_FORMAT_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ModuleCache",
+]
 
 #: Bump when the cached payload's meaning changes (e.g. we start caching
 #: derived per-module facts alongside the AST).
 CACHE_FORMAT_VERSION = 1
+
+#: Bump with every behavioural change to the whole-program analyzers or
+#: their contract tables.  Part of the cache key, so an analyzer upgrade
+#: invalidates every entry wholesale: nothing derived under the old
+#: analyzer (now or in a future payload format that caches summaries)
+#: can be served against the new one.
+ANALYZER_VERSION = 2
 
 #: Directory name used by the CLI (relative to the working tree).
 DEFAULT_CACHE_DIR = ".lint-cache"
@@ -54,6 +68,7 @@ class ModuleCache:
         """Content hash for one module's source text."""
         preamble = (
             f"reprolint-cache:{CACHE_FORMAT_VERSION}"
+            f":analyzer{ANALYZER_VERSION}"
             f":py{sys.version_info.major}.{sys.version_info.minor}\n"
         )
         return hashlib.sha256(

@@ -36,6 +36,36 @@ def render_json(report: LintReport) -> str:
     return json.dumps(report_to_dict(report), indent=2, sort_keys=True)
 
 
+#: Tier order in the merged ``--all`` report; keys are schema, not
+#: display names, so they stay snake_case and never change.
+ALL_TIER_KEYS = ("shallow", "deep", "effects", "robot_model")
+
+
+def all_report_to_dict(tiers: Dict[str, LintReport]) -> Dict[str, Any]:
+    """The merged ``--all`` document: one sub-report per tier.
+
+    ``ok`` is the conjunction over tiers, matching the combined exit
+    code.  Tier sub-reports are the unchanged per-tier schema, so any
+    consumer of ``reprolint_report`` can read one tier out of this
+    document without new parsing code.
+    """
+    return {
+        "kind": "reprolint_all_report",
+        "format_version": REPORT_FORMAT_VERSION,
+        "ok": all(report.ok for report in tiers.values()),
+        "tiers": {
+            key: report_to_dict(tiers[key])
+            for key in ALL_TIER_KEYS
+            if key in tiers
+        },
+    }
+
+
+def render_all_json(tiers: Dict[str, LintReport]) -> str:
+    """The merged report as canonical JSON text."""
+    return json.dumps(all_report_to_dict(tiers), indent=2, sort_keys=True)
+
+
 def render_text(report: LintReport) -> str:
     """One line per finding plus a one-line summary."""
     lines: List[str] = [finding.render() for finding in report.findings]
@@ -58,9 +88,10 @@ def render_text(report: LintReport) -> str:
     return "\n".join(lines)
 
 
-#: ``(code, name, summary)`` per whole-program rule.  These run under
-#: ``--deep``/``--effects`` rather than the shallow per-file engine, so
-#: they are listed here instead of the selectable catalogue.
+#: ``(code, name, mode, summary)`` per whole-program rule.  These run
+#: under ``--deep``/``--effects``/``--robot-model`` rather than the
+#: shallow per-file engine, so they are listed here instead of the
+#: selectable catalogue.
 WHOLE_PROGRAM_RULES = (
     ("T001", "deep-taint-path", "--deep",
      "a deterministic-core function transitively reaches a "
@@ -88,9 +119,23 @@ WHOLE_PROGRAM_RULES = (
     ("S002", "digest-missing-field", "--effects",
      "a spec field never reaches to_dict, so differing specs share a "
      "digest"),
-    ("P001", "parse-error", "--deep/--effects",
+    ("A001", "hidden-persistent-state", "--robot-model",
+     "an algorithm hook writes an attribute that persistent_state() "
+     "never emits (state the memory audit cannot see)"),
+    ("A002", "unbounded-declared-state", "--robot-model",
+     "a persistent_state() field has no bound in "
+     "persistent_state_bounds(), so its bit cost is uncharged"),
+    ("A003", "observation-scope-violation", "--robot-model",
+     "a LOCAL-communication algorithm reads a global-only Observation "
+     "field"),
+    ("A004", "model-escape", "--robot-model",
+     "decide() transitively reaches engine/graph/store internals, "
+     "breaking robot anonymity"),
+    ("A005", "observation-mutation", "--robot-model",
+     "a decide/detects_termination hook mutates its Observation"),
+    ("P001", "parse-error", "--deep/--effects/--robot-model",
      "a file under analysis does not parse (never baselined)"),
-    ("B001", "stale-baseline-entry", "--deep/--effects",
+    ("B001", "stale-baseline-entry", "--deep/--effects/--robot-model",
      "an accepted baseline fingerprint is no longer produced by the "
      "tree"),
 )

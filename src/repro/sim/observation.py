@@ -41,6 +41,30 @@ class CommunicationModel(enum.Enum):
     LOCAL = "local"
 
 
+#: Which communication model each :class:`Observation` member needs.
+#:
+#: ``"local"`` members are meaningful under both models; ``"global"``
+#: members only carry more than the robot's own node under global
+#: communication, so an algorithm declaring
+#: ``requires_communication = CommunicationModel.LOCAL`` must not read
+#: them -- doing so silently bakes a global-information assumption into a
+#: local-model algorithm (the split Theorems 1-2 make load-bearing).
+#: ``repro lint --robot-model`` (rule A003) enforces this statically for
+#: every algorithm class; the table lives here, next to the governed
+#: dataclass, so adding an ``Observation`` member forces a scope decision
+#: (the lint tier's completeness test fails on any member missing here).
+OBSERVATION_FIELD_SCOPES: Dict[str, str] = {
+    "robot_id": "local",
+    "round_index": "local",
+    "own_packet": "local",
+    "neighborhood_knowledge": "local",
+    "entry_port": "local",
+    "packets": "global",
+    "packet_index": "global",
+    "sees_multiplicity": "global",
+}
+
+
 @dataclass(frozen=True)
 class NeighborInfo:
     """What 1-neighborhood knowledge reveals about one occupied neighbor."""

@@ -90,6 +90,7 @@ PUBLIC_MODULES = [
     "repro.lint.deep.contracts",
     "repro.lint.deep.effects",
     "repro.lint.deep.modindex",
+    "repro.lint.deep.robotmodel",
     "repro.lint.deep.taint",
     "repro.lint.determinism",
     "repro.lint.engine",
